@@ -1,0 +1,324 @@
+// Command corrcomp is the command-line front end of the lossycorr
+// library: it generates correlated fields, extracts their correlation
+// statistics, runs error-bounded lossy compressors over them, and fits
+// the paper's CR = α + β·log(x) regressions.
+//
+// Subcommands:
+//
+//	corrcomp gen       -kind gaussian -rows 256 -cols 256 -range 16 -seed 1 -out field.bin
+//	corrcomp analyze   -in field.bin [-window 32]
+//	corrcomp compress  -in field.bin -codec sz-like -eb 1e-3 [-verify]
+//	corrcomp sweep     -in field.bin            # all codecs × paper bounds
+//	corrcomp predict   -size 128 -train 6       # train models, select codec
+//	corrcomp list                               # available compressors
+//
+// Fields are stored in the library's simple binary format (two uint32
+// dimensions + float64 payload, little endian); -pgm dumps a grayscale
+// preview next to the output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lossycorr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "entropy":
+		err = cmdEntropy(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "list":
+		for _, n := range lossycorr.Compressors().Names() {
+			fmt.Println(n)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "corrcomp: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corrcomp:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: corrcomp <gen|analyze|compress|sweep|predict|entropy|sample|list> [flags]
+run "corrcomp <subcommand> -h" for the flags of each subcommand`)
+}
+
+func cmdEntropy(args []string) error {
+	fs := flag.NewFlagSet("entropy", flag.ExitOnError)
+	in := fs.String("in", "field.bin", "input field")
+	eb := fs.Float64("eb", 1e-3, "absolute error bound")
+	fs.Parse(args)
+
+	g, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	h, err := lossycorr.QuantizedEntropy(g, *eb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quantized entropy at eb=%.0e: %.4f bits/value\n", *eb, h)
+	fmt.Printf("entropy-bound compression ratio: %.3f\n", lossycorr.EstimateEntropyRatio(h))
+	for _, name := range lossycorr.Compressors().Names() {
+		res, err := lossycorr.Measure(name, g, *eb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measured %-11s ratio: %.3f\n", name, res.Ratio)
+	}
+	return nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	in := fs.String("in", "field.bin", "input field")
+	window := fs.Int("window", 32, "local window H")
+	stat := fs.String("stat", "range", "statistic: range | svd")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	fs.Parse(args)
+
+	g, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	points, err := lossycorr.SweepSamplingFractions(g, *window, *stat, nil, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sampling sweep of local %q statistic (H=%d):\n", *stat, *window)
+	fmt.Printf("%10s %12s %12s %10s\n", "fraction", "estimate", "reference", "rel.err")
+	for _, p := range points {
+		fmt.Printf("%10.2f %12.4f %12.4f %9.1f%%\n",
+			p.Fraction, p.Estimate, p.Reference, 100*p.RelError)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "gaussian", "gaussian | multi | turbulence")
+	rows := fs.Int("rows", 256, "field rows")
+	cols := fs.Int("cols", 256, "field cols")
+	rang := fs.Float64("range", 16, "correlation range (gaussian)")
+	ranges := fs.String("ranges", "4,32", "comma-separated ranges (multi)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "field.bin", "output file")
+	pgm := fs.Bool("pgm", false, "also write a .pgm preview")
+	fs.Parse(args)
+
+	var g *lossycorr.Grid
+	var err error
+	switch *kind {
+	case "gaussian":
+		g, err = lossycorr.GenerateGaussian(lossycorr.GaussianParams{
+			Rows: *rows, Cols: *cols, Range: *rang, Seed: *seed,
+		})
+	case "multi":
+		var rs []float64
+		for _, tok := range strings.Split(*ranges, ",") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &v); err != nil {
+				return fmt.Errorf("bad -ranges entry %q", tok)
+			}
+			rs = append(rs, v)
+		}
+		g, err = lossycorr.GenerateMultiGaussian(lossycorr.MultiGaussianParams{
+			Rows: *rows, Cols: *cols, Ranges: rs, Seed: *seed,
+		})
+	case "turbulence":
+		var slices []*lossycorr.Grid
+		slices, _, err = lossycorr.TurbulenceSlices(*rows, 1, 1.6, *seed)
+		if err == nil {
+			g = slices[0]
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteBinary(f); err != nil {
+		return err
+	}
+	if *pgm {
+		p, err := os.Create(*out + ".pgm")
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		if err := g.WritePGM(p); err != nil {
+			return err
+		}
+	}
+	st := g.Summary()
+	fmt.Printf("wrote %s: %dx%d min=%.4g max=%.4g var=%.4g\n",
+		*out, g.Rows, g.Cols, st.Min, st.Max, st.Variance)
+	return nil
+}
+
+func readField(path string) (*lossycorr.Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lossycorr.ReadGrid(f)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "field.bin", "input field")
+	window := fs.Int("window", 32, "local statistics window H")
+	fs.Parse(args)
+
+	g, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	stats, err := lossycorr.Analyze(g, lossycorr.AnalysisOptions{Window: *window})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("field: %dx%d\n", g.Rows, g.Cols)
+	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
+	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
+	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, *window)
+	fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd, *window)
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "field.bin", "input field")
+	codec := fs.String("codec", "sz-like", "compressor name (see corrcomp list)")
+	eb := fs.Float64("eb", 1e-3, "absolute error bound")
+	fs.Parse(args)
+
+	g, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	res, err := lossycorr.Measure(*codec, g, *eb)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	in := fs.String("in", "field.bin", "input field")
+	fs.Parse(args)
+
+	g, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	for _, name := range lossycorr.Compressors().Names() {
+		for _, eb := range lossycorr.PaperErrorBounds {
+			res, err := lossycorr.Measure(name, g, eb)
+			if err != nil {
+				return err
+			}
+			printResult(res)
+		}
+	}
+	return nil
+}
+
+func printResult(res lossycorr.Result) {
+	fmt.Printf("%-11s eb=%.0e ratio=%8.3f bytes=%d maxErr=%.3e psnr=%.1fdB bound=%v\n",
+		res.Compressor, res.ErrorBound, res.Ratio, res.CompressedSize,
+		res.MaxAbsError, res.PSNR, res.BoundOK)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	size := fs.Int("size", 128, "training field edge")
+	train := fs.Int("train", 6, "number of training ranges")
+	eb := fs.Float64("eb", 1e-3, "error bound for selection")
+	seed := fs.Uint64("seed", 1, "seed")
+	in := fs.String("in", "", "optional field to select a compressor for")
+	fs.Parse(args)
+
+	var fields []*lossycorr.Grid
+	var labels []float64
+	for i := 0; i < *train; i++ {
+		rang := float64(*size) / 64 * float64(int(2)<<uint(i%6))
+		f, err := lossycorr.GenerateGaussian(lossycorr.GaussianParams{
+			Rows: *size, Cols: *size, Range: rang, Seed: *seed + uint64(i),
+		})
+		if err != nil {
+			return err
+		}
+		fields = append(fields, f)
+		labels = append(labels, rang)
+	}
+	ms, err := lossycorr.MeasureFields("train", fields, labels, lossycorr.MeasureOptions{
+		Analysis:    lossycorr.AnalysisOptions{SkipLocal: true},
+		ErrorBounds: []float64{*eb},
+	})
+	if err != nil {
+		return err
+	}
+	p, err := lossycorr.TrainPredictor(ms, lossycorr.XGlobalRange)
+	if err != nil {
+		return err
+	}
+	fmt.Println("trained models:", strings.Join(p.Models(), " "))
+	target := fields[len(fields)-1]
+	if *in != "" {
+		target, err = readField(*in)
+		if err != nil {
+			return err
+		}
+	}
+	stats, err := lossycorr.Analyze(target, lossycorr.AnalysisOptions{SkipLocal: true})
+	if err != nil {
+		return err
+	}
+	sel, err := p.SelectCompressor(*eb, stats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated range %.3f → selected %s (predicted CR %.2f)\n",
+		stats.GlobalRange, sel.Compressor, sel.Predicted)
+	res, err := lossycorr.Measure(sel.Compressor, target, *eb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("actual CR with %s: %.2f\n", sel.Compressor, res.Ratio)
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command figures regenerates every figure of the paper's evaluation
+// as text tables (and optional PGM images for Figure 2).
+//
+//	figures -fig all  -size 256 -reps 2 -slices 6 -out figures/
+//	figures -fig 3    -size 128
+//
+// Figure 1 is the illustrative variogram, Figure 2 the dataset gallery,
+// and Figures 3–7 the CR-versus-statistic panels with their fitted
+// α + β·log(x) regressions in the legends (the series the paper plots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lossycorr"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure to regenerate: 1..7 or "all"`)
+	size := flag.Int("size", 256, "field edge (paper: 1028)")
+	reps := flag.Int("reps", 2, "replicates per range")
+	slices := flag.Int("slices", 6, "Miranda-substitute snapshots")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	outDir := flag.String("out", "", "directory for per-figure files (default: stdout)")
+	pgm := flag.Bool("pgm", false, "write PGM images for figure 2 (needs -out)")
+	flag.Parse()
+
+	suite := lossycorr.NewSuite(lossycorr.FigureConfig{
+		Size:          *size,
+		Replicates:    *reps,
+		MirandaSlices: *slices,
+		Seed:          *seed,
+	})
+
+	sink := func(name string) (io.Writer, func() error, error) {
+		if *outDir == "" {
+			fmt.Printf("\n##### %s #####\n", name)
+			return os.Stdout, func() error { return nil }, nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+
+	var pgmSink func(string) (io.WriteCloser, error)
+	if *pgm && *outDir != "" {
+		pgmSink = func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*outDir, name))
+		}
+	}
+
+	run := func(n int) error {
+		w, closer, err := sink(fmt.Sprintf("fig%d.txt", n))
+		if err != nil {
+			return err
+		}
+		defer closer()
+		switch n {
+		case 1:
+			return suite.Figure1(w)
+		case 2:
+			return suite.Figure2(w, pgmSink)
+		default:
+			f, err := suite.Figure(n)
+			if err != nil {
+				return err
+			}
+			return f.Render(w)
+		}
+	}
+
+	var figs []int
+	if *fig == "all" {
+		figs = []int{1, 2, 3, 4, 5, 6, 7}
+	} else {
+		var n int
+		if _, err := fmt.Sscanf(*fig, "%d", &n); err != nil || n < 1 || n > 7 {
+			fmt.Fprintf(os.Stderr, "figures: bad -fig %q (want 1..7 or all)\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{n}
+	}
+	for _, n := range figs {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: fig%d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Turbulence pipeline: the Miranda-substitute workflow. Run the
+// built-in compressible-Euler solver (Kelvin–Helmholtz instability),
+// take velocityx snapshots at several times, and show how correlation
+// statistics and compression ratios evolve as the flow becomes more
+// turbulent — the Figure 4/7 story on locally generated data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lossycorr"
+)
+
+func main() {
+	const n = 128
+	slices, times, err := lossycorr.TurbulenceSlices(n, 4, 1.6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %10s %10s %10s %12s %12s\n",
+		"time", "globRange", "locRngStd", "locSVDStd", "sz-like CR", "zfp-like CR")
+	for i, f := range slices {
+		stats, err := lossycorr.Analyze(f, lossycorr.AnalysisOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sz, err := lossycorr.Measure("sz-like", f, 1e-3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		zfp, err := lossycorr.Measure("zfp-like", f, 1e-3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.3f %10.3f %10.3f %10.3f %12.2f %12.2f\n",
+			times[i], stats.GlobalRange, stats.LocalRangeStd, stats.LocalSVDStd,
+			sz.Ratio, zfp.Ratio)
+	}
+	fmt.Println("\nlater snapshots are more turbulent: shorter correlation")
+	fmt.Println("ranges and higher local heterogeneity give lower ratios.")
+}

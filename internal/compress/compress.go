@@ -1,0 +1,154 @@
+// Package compress defines the error-bounded lossy compressor
+// interface and the measurement harness (compression ratio, maximum
+// error, PSNR, bound verification) — the role Libpressio plays in the
+// paper's experimental setup.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lossycorr/internal/grid"
+)
+
+// Compressor is an error-bounded lossy compressor for 2D float64
+// fields. Compress must guarantee max|x−x̂| <= absErr for every element.
+type Compressor interface {
+	// Name identifies the compressor in experiment output.
+	Name() string
+	// Compress encodes g under the absolute error bound absErr.
+	Compress(g *grid.Grid, absErr float64) ([]byte, error)
+	// Decompress reconstructs the field from Compress's output.
+	Decompress(data []byte) (*grid.Grid, error)
+}
+
+// Result reports one compression measurement.
+type Result struct {
+	Compressor     string
+	ErrorBound     float64
+	OriginalSize   int
+	CompressedSize int
+	Ratio          float64 // OriginalSize / CompressedSize
+	MaxAbsError    float64
+	MSE            float64
+	PSNR           float64 // dB, relative to the field's value range
+	BoundOK        bool
+}
+
+// Run compresses, decompresses, and measures g with c at absErr.
+func Run(c Compressor, g *grid.Grid, absErr float64) (Result, error) {
+	if absErr <= 0 {
+		return Result{}, fmt.Errorf("compress: non-positive error bound %v", absErr)
+	}
+	data, err := c.Compress(g, absErr)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
+	}
+	dec, err := c.Decompress(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s decode: %w", c.Name(), err)
+	}
+	maxErr, err := g.MaxAbsDiff(dec)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
+	}
+	mse, err := g.MSE(dec)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Compressor:     c.Name(),
+		ErrorBound:     absErr,
+		OriginalSize:   g.SizeBytes(),
+		CompressedSize: len(data),
+		MaxAbsError:    maxErr,
+		MSE:            mse,
+		PSNR:           PSNR(g, mse),
+		BoundOK:        maxErr <= absErr*(1+1e-12),
+	}
+	if len(data) > 0 {
+		res.Ratio = float64(res.OriginalSize) / float64(len(data))
+	}
+	return res, nil
+}
+
+// RunRelative measures g under a value-range-relative error bound: the
+// absolute bound is relErr times the field's value range. The paper
+// notes the formal equivalence between the absolute mode and this mode
+// (used natively by SZ); constant fields fall back to relErr itself.
+func RunRelative(c Compressor, g *grid.Grid, relErr float64) (Result, error) {
+	if relErr <= 0 {
+		return Result{}, fmt.Errorf("compress: non-positive relative bound %v", relErr)
+	}
+	vr := g.Summary().ValueRange
+	abs := relErr * vr
+	if abs == 0 {
+		abs = relErr
+	}
+	return Run(c, g, abs)
+}
+
+// PSNR computes the peak signal-to-noise ratio in dB using the field's
+// value range as peak, the convention of the lossy-compression
+// community (+Inf for a perfect reconstruction).
+func PSNR(g *grid.Grid, mse float64) float64 {
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	vr := g.Summary().ValueRange
+	if vr == 0 {
+		return 0
+	}
+	return 20*math.Log10(vr) - 10*math.Log10(mse)
+}
+
+// Registry holds named compressors for CLI and experiment lookup.
+type Registry struct {
+	byName map[string]Compressor
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Compressor)}
+}
+
+// Register adds c; registering a duplicate name is an error.
+func (r *Registry) Register(c Compressor) error {
+	if _, dup := r.byName[c.Name()]; dup {
+		return fmt.Errorf("compress: duplicate compressor %q", c.Name())
+	}
+	r.byName[c.Name()] = c
+	return nil
+}
+
+// Get looks a compressor up by name.
+func (r *Registry) Get(name string) (Compressor, error) {
+	c, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown compressor %q (have %v)", name, r.Names())
+	}
+	return c, nil
+}
+
+// Names lists registered compressors in sorted order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the compressors in name order.
+func (r *Registry) All() []Compressor {
+	out := make([]Compressor, 0, len(r.byName))
+	for _, n := range r.Names() {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// PaperErrorBounds are the four absolute error bounds of the study.
+var PaperErrorBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2}

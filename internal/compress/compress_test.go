@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"lossycorr/internal/grid"
+)
+
+// roundingCompressor is a trivial test codec: rounds to multiples of eb
+// and stores everything verbatim (after an 8-byte header per value).
+type roundingCompressor struct{ name string }
+
+func (c roundingCompressor) Name() string { return c.name }
+
+func (c roundingCompressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
+	var buf bytes.Buffer
+	q := g.Clone()
+	for i, v := range q.Data {
+		q.Data[i] = math.Round(v/absErr) * absErr
+	}
+	if err := q.WriteBinary(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c roundingCompressor) Decompress(data []byte) (*grid.Grid, error) {
+	return grid.ReadBinary(bytes.NewReader(data))
+}
+
+// brokenCompressor violates its bound.
+type brokenCompressor struct{ roundingCompressor }
+
+func (c brokenCompressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
+	return c.roundingCompressor.Compress(g, absErr*100)
+}
+
+func testField() *grid.Grid {
+	return grid.FromFunc(16, 16, func(r, c int) float64 {
+		return math.Sin(float64(r)/3) * math.Cos(float64(c)/5)
+	})
+}
+
+func TestRunMetrics(t *testing.T) {
+	g := testField()
+	res, err := Run(roundingCompressor{"round"}, g, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BoundOK {
+		t.Fatalf("bound violated: %+v", res)
+	}
+	if res.MaxAbsError > 0.005+1e-12 {
+		t.Fatalf("rounding error %v above half bin", res.MaxAbsError)
+	}
+	if res.OriginalSize != 16*16*8 {
+		t.Fatalf("original size %d", res.OriginalSize)
+	}
+	if res.Ratio <= 0 {
+		t.Fatalf("ratio %v", res.Ratio)
+	}
+	if res.PSNR < 40 {
+		t.Fatalf("PSNR %v unexpectedly low", res.PSNR)
+	}
+	if res.Compressor != "round" || res.ErrorBound != 0.01 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+}
+
+func TestRunDetectsBoundViolation(t *testing.T) {
+	res, err := Run(brokenCompressor{roundingCompressor{"broken"}}, testField(), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundOK {
+		t.Fatal("violation not detected")
+	}
+}
+
+func TestRunRejectsBadBound(t *testing.T) {
+	if _, err := Run(roundingCompressor{"r"}, testField(), 0); err == nil {
+		t.Fatal("expected error for eb=0")
+	}
+	if _, err := Run(roundingCompressor{"r"}, testField(), -1); err == nil {
+		t.Fatal("expected error for eb<0")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	g := testField()
+	if !math.IsInf(PSNR(g, 0), 1) {
+		t.Fatal("zero MSE should give +Inf PSNR")
+	}
+	vr := g.Summary().ValueRange
+	// mse = vr² gives 0 dB
+	if p := PSNR(g, vr*vr); math.Abs(p) > 1e-9 {
+		t.Fatalf("PSNR(vr²)=%v want 0", p)
+	}
+	if p := PSNR(grid.New(4, 4), 1); p != 0 {
+		t.Fatalf("constant-field PSNR %v", p)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(roundingCompressor{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(roundingCompressor{"a"}); err == nil {
+		t.Fatal("duplicate registration must error")
+	}
+	if err := r.Register(roundingCompressor{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("zzz"); err == nil {
+		t.Fatal("unknown lookup must error")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].Name() != "a" {
+		t.Fatalf("All() wrong order")
+	}
+}
+
+func TestRunRelative(t *testing.T) {
+	g := testField() // value range ~2
+	vr := g.Summary().ValueRange
+	res, err := RunRelative(roundingCompressor{"round"}, g, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound != 1e-2*vr {
+		t.Fatalf("absolute bound %v want %v", res.ErrorBound, 1e-2*vr)
+	}
+	if !res.BoundOK {
+		t.Fatalf("bound violated: %+v", res)
+	}
+	// constant field falls back to the relative value as absolute
+	c := grid.New(4, 4)
+	res, err = RunRelative(roundingCompressor{"round"}, c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound != 0.5 {
+		t.Fatalf("constant-field bound %v", res.ErrorBound)
+	}
+	if _, err := RunRelative(roundingCompressor{"round"}, g, 0); err == nil {
+		t.Fatal("expected error for rel=0")
+	}
+}
+
+func TestPaperErrorBounds(t *testing.T) {
+	want := []float64{1e-5, 1e-4, 1e-3, 1e-2}
+	if len(PaperErrorBounds) != len(want) {
+		t.Fatalf("bounds %v", PaperErrorBounds)
+	}
+	for i := range want {
+		if PaperErrorBounds[i] != want[i] {
+			t.Fatalf("bounds %v", PaperErrorBounds)
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	_, err := Run(failingCompressor{}, testField(), 1e-3)
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+var errBoom = errors.New("boom")
+
+type failingCompressor struct{}
+
+func (failingCompressor) Name() string { return "fail" }
+func (failingCompressor) Compress(*grid.Grid, float64) ([]byte, error) {
+	return nil, errBoom
+}
+func (failingCompressor) Decompress([]byte) (*grid.Grid, error) { return nil, errBoom }

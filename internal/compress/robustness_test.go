@@ -1,0 +1,109 @@
+package compress_test
+
+// Failure-injection tests: every codec must reject (or at worst decode
+// wrongly) arbitrarily corrupted streams without panicking. Run against
+// all three built-in compressors via the core registry.
+
+import (
+	"math"
+	"testing"
+
+	"lossycorr/internal/core"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func testFieldFor(seed uint64) *grid.Grid {
+	rng := xrand.New(seed)
+	return grid.FromFunc(24, 31, func(r, c int) float64 {
+		return math.Sin(float64(r)/4) + 0.2*rng.NormFloat64()
+	})
+}
+
+func TestDecompressNeverPanicsOnCorruption(t *testing.T) {
+	for _, c := range core.DefaultRegistry().All() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			data, err := c.Compress(testFieldFor(1), 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(7)
+			for trial := 0; trial < 300; trial++ {
+				bad := append([]byte(nil), data...)
+				switch trial % 3 {
+				case 0: // flip random bytes
+					for k := 0; k < 1+rng.Intn(8); k++ {
+						bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+					}
+				case 1: // truncate
+					bad = bad[:rng.Intn(len(bad))]
+				case 2: // swap a random block
+					if len(bad) > 16 {
+						i := rng.Intn(len(bad) - 8)
+						j := rng.Intn(len(bad) - 8)
+						for k := 0; k < 8; k++ {
+							bad[i+k], bad[j+k] = bad[j+k], bad[i+k]
+						}
+					}
+				}
+				// must not panic; error or garbage output both acceptable
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("trial %d: decompress panicked: %v", trial, r)
+						}
+					}()
+					_, _ = c.Decompress(bad)
+				}()
+			}
+		})
+	}
+}
+
+func TestDecompressRandomGarbage(t *testing.T) {
+	rng := xrand.New(9)
+	for _, c := range core.DefaultRegistry().All() {
+		for trial := 0; trial < 100; trial++ {
+			garbage := make([]byte, rng.Intn(2048))
+			for i := range garbage {
+				garbage[i] = byte(rng.Uint64())
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: garbage decompress panicked: %v", c.Name(), r)
+					}
+				}()
+				_, _ = c.Decompress(garbage)
+			}()
+		}
+	}
+}
+
+func TestCompressRejectsNonFinite(t *testing.T) {
+	// NaN/Inf inputs must either roundtrip through the escape path or
+	// error — never violate the bound on the finite elements
+	g, err := grid.FromData(2, 3, []float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range core.DefaultRegistry().All() {
+		data, err := c.Compress(g, 1e-6)
+		if err != nil {
+			continue // rejecting non-finite input is acceptable
+		}
+		dec, err := c.Decompress(data)
+		if err != nil {
+			t.Fatalf("%s: decode of non-finite field failed: %v", c.Name(), err)
+		}
+		for i, v := range g.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if math.Abs(v-dec.Data[i]) > 1e-6*(1+1e-12) {
+				t.Fatalf("%s: finite element %d error %v", c.Name(), i, math.Abs(v-dec.Data[i]))
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package core implements the paper's contribution: the pipeline that
+// characterizes correlation structure of 2D scientific fields
+// (global/local variogram ranges, local SVD truncation levels), links
+// those statistics to error-bounded lossy compression ratios through
+// logarithmic regression models, and regenerates every figure of the
+// evaluation. It also provides the forward application the paper
+// motivates: predicting compression ratios from correlation statistics
+// and selecting a compressor accordingly.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/mgardlike"
+	"lossycorr/internal/svdstat"
+	"lossycorr/internal/szlike"
+	"lossycorr/internal/variogram"
+	"lossycorr/internal/zfplike"
+)
+
+// DefaultWindow is the paper's H=32 local-statistics window.
+const DefaultWindow = 32
+
+// Statistics are the paper's three correlation statistics for a field.
+type Statistics struct {
+	GlobalRange   float64 // estimated global variogram range (Figures 3, 4)
+	GlobalSill    float64 // fitted sill (≈ field variance)
+	LocalRangeStd float64 // std of local variogram ranges, H windows (Figure 5, 7-left)
+	LocalSVDStd   float64 // std of local SVD truncation levels (Figure 6, 7-right)
+}
+
+// AnalysisOptions configures statistic extraction.
+type AnalysisOptions struct {
+	Window           int               // local window H; 0 means DefaultWindow
+	VariogramOpts    variogram.Options // empirical variogram controls
+	VarianceFraction float64           // SVD threshold; 0 means 0.99
+	SkipLocal        bool              // global range only (cheaper)
+}
+
+func (o AnalysisOptions) withDefaults() AnalysisOptions {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.VarianceFraction == 0 {
+		o.VarianceFraction = svdstat.DefaultVarianceFraction
+	}
+	return o
+}
+
+// Analyze extracts the correlation statistics of a field.
+func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
+	o := opts.withDefaults()
+	var s Statistics
+	m, err := variogram.GlobalRange(g, o.VariogramOpts)
+	if err != nil {
+		return s, fmt.Errorf("core: global variogram: %w", err)
+	}
+	s.GlobalRange = m.Range
+	s.GlobalSill = m.Sill
+	if o.SkipLocal {
+		return s, nil
+	}
+	s.LocalRangeStd, err = variogram.LocalRangeStd(g, o.Window, o.VariogramOpts)
+	if err != nil {
+		return s, fmt.Errorf("core: local variogram: %w", err)
+	}
+	s.LocalSVDStd, err = svdstat.LocalStd(g, o.Window, o.VarianceFraction)
+	if err != nil {
+		return s, fmt.Errorf("core: local svd: %w", err)
+	}
+	return s, nil
+}
+
+// DefaultRegistry returns the three compressors of the study.
+func DefaultRegistry() *compress.Registry {
+	r := compress.NewRegistry()
+	// Registration of the built-in codecs cannot collide.
+	_ = r.Register(szlike.Compressor{})
+	_ = r.Register(zfplike.Compressor{})
+	_ = r.Register(mgardlike.Compressor{})
+	return r
+}
+
+// Measurement couples one field's statistics with its compression
+// results across compressors and error bounds.
+type Measurement struct {
+	Dataset string
+	Index   int     // field index within the dataset
+	Label   float64 // generating parameter when known (e.g. true range)
+	Stats   Statistics
+	Results []compress.Result
+}
+
+// MeasureOptions configures MeasureFields.
+type MeasureOptions struct {
+	Analysis    AnalysisOptions
+	ErrorBounds []float64 // nil means compress.PaperErrorBounds
+	Workers     int       // 0 means GOMAXPROCS
+}
+
+// MeasureFields analyzes and compresses every field with every
+// registered compressor at every error bound, fanning fields out over a
+// worker pool. Results keep the input field order.
+func MeasureFields(name string, fields []*grid.Grid, labels []float64,
+	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
+
+	ebs := opts.ErrorBounds
+	if ebs == nil {
+		ebs = compress.PaperErrorBounds
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fields) && len(fields) > 0 {
+		workers = len(fields)
+	}
+	out := make([]Measurement, len(fields))
+	errs := make([]error, len(fields))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = measureOne(name, i, fields[i], labels, reg, ebs, opts.Analysis)
+			}
+		}()
+	}
+	for i := range fields {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func measureOne(name string, i int, g *grid.Grid, labels []float64,
+	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions) (Measurement, error) {
+
+	m := Measurement{Dataset: name, Index: i}
+	if i < len(labels) {
+		m.Label = labels[i]
+	}
+	var err error
+	m.Stats, err = Analyze(g, aOpts)
+	if err != nil {
+		return m, err
+	}
+	for _, c := range reg.All() {
+		for _, eb := range ebs {
+			res, err := compress.Run(c, g, eb)
+			if err != nil {
+				return m, fmt.Errorf("core: field %d: %w", i, err)
+			}
+			if !res.BoundOK {
+				return m, fmt.Errorf("core: field %d: %s violated bound %g (max err %g)",
+					i, c.Name(), eb, res.MaxAbsError)
+			}
+			m.Results = append(m.Results, res)
+		}
+	}
+	return m, nil
+}

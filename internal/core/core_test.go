@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+)
+
+func smallField(t *testing.T, rang float64, seed uint64) *grid.Grid {
+	t.Helper()
+	f, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: rang, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAnalyzeProducesAllStatistics(t *testing.T) {
+	f := smallField(t, 8, 1)
+	s, err := Analyze(f, AnalysisOptions{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GlobalRange <= 0 || s.GlobalSill <= 0 {
+		t.Fatalf("global stats %+v", s)
+	}
+	if s.LocalRangeStd < 0 || s.LocalSVDStd < 0 {
+		t.Fatalf("local stats %+v", s)
+	}
+	if s.GlobalRange < 4 || s.GlobalRange > 16 {
+		t.Fatalf("estimated range %v far from 8", s.GlobalRange)
+	}
+}
+
+func TestAnalyzeSkipLocal(t *testing.T) {
+	f := smallField(t, 4, 2)
+	s, err := Analyze(f, AnalysisOptions{SkipLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LocalRangeStd != 0 || s.LocalSVDStd != 0 {
+		t.Fatalf("local stats computed despite SkipLocal: %+v", s)
+	}
+}
+
+func TestDefaultRegistryHasAllThree(t *testing.T) {
+	names := DefaultRegistry().Names()
+	want := []string{"mgard-like", "sz-like", "zfp-like"}
+	if len(names) != 3 {
+		t.Fatalf("names %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names %v want %v", names, want)
+		}
+	}
+}
+
+func TestMeasureFieldsEndToEnd(t *testing.T) {
+	fields := []*grid.Grid{smallField(t, 4, 3), smallField(t, 16, 4)}
+	labels := []float64{4, 16}
+	ms, err := MeasureFields("test", fields, labels, DefaultRegistry(), MeasureOptions{
+		Analysis:    AnalysisOptions{Window: 16},
+		ErrorBounds: []float64{1e-3},
+		Workers:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	for i, m := range ms {
+		if m.Dataset != "test" || m.Index != i || m.Label != labels[i] {
+			t.Fatalf("metadata wrong: %+v", m)
+		}
+		if len(m.Results) != 3 {
+			t.Fatalf("want 3 results, got %d", len(m.Results))
+		}
+		for _, r := range m.Results {
+			if !r.BoundOK || r.Ratio <= 1 {
+				t.Fatalf("bad result %+v", r)
+			}
+		}
+	}
+	// the longer-range field must have a larger estimated range and a
+	// better sz-like ratio
+	if ms[0].Stats.GlobalRange >= ms[1].Stats.GlobalRange {
+		t.Fatalf("ranges not ordered: %v vs %v", ms[0].Stats.GlobalRange, ms[1].Stats.GlobalRange)
+	}
+	szCR := func(m Measurement) float64 {
+		for _, r := range m.Results {
+			if r.Compressor == "sz-like" {
+				return r.Ratio
+			}
+		}
+		return 0
+	}
+	if szCR(ms[0]) >= szCR(ms[1]) {
+		t.Fatalf("sz CR not increasing with range: %v vs %v", szCR(ms[0]), szCR(ms[1]))
+	}
+}
+
+func TestMeasureFieldsDeterministicAcrossWorkerCounts(t *testing.T) {
+	fields := []*grid.Grid{smallField(t, 4, 5), smallField(t, 8, 6), smallField(t, 12, 7)}
+	opts := func(w int) MeasureOptions {
+		return MeasureOptions{
+			Analysis:    AnalysisOptions{SkipLocal: true},
+			ErrorBounds: []float64{1e-3},
+			Workers:     w,
+		}
+	}
+	a, err := MeasureFields("d", fields, nil, DefaultRegistry(), opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureFields("d", fields, nil, DefaultRegistry(), opts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Stats != b[i].Stats {
+			t.Fatalf("worker count changed stats at %d", i)
+		}
+		for j := range a[i].Results {
+			if a[i].Results[j] != b[i].Results[j] {
+				t.Fatalf("worker count changed results at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildSeriesGrouping(t *testing.T) {
+	ms := []Measurement{
+		{
+			Stats: Statistics{GlobalRange: 4},
+			Results: []compress.Result{
+				{Compressor: "a", ErrorBound: 1e-3, Ratio: 10},
+				{Compressor: "b", ErrorBound: 1e-3, Ratio: 5},
+			},
+		},
+		{
+			Stats: Statistics{GlobalRange: 16},
+			Results: []compress.Result{
+				{Compressor: "a", ErrorBound: 1e-3, Ratio: 20},
+				{Compressor: "b", ErrorBound: 1e-3, Ratio: 6},
+			},
+		},
+	}
+	series := BuildSeries(ms, XGlobalRange)
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	if series[0].Compressor != "a" || series[1].Compressor != "b" {
+		t.Fatalf("series order %v %v", series[0].Compressor, series[1].Compressor)
+	}
+	if len(series[0].X) != 2 || series[0].X[0] != 4 || series[0].X[1] != 16 {
+		t.Fatalf("series X %v", series[0].X)
+	}
+	if !series[0].FitOK {
+		t.Fatal("fit failed")
+	}
+	// series a: CR 10 -> 20 over x 4 -> 16: β = 10/ln(4)
+	wantBeta := 10 / math.Log(4)
+	if math.Abs(series[0].Fit.Beta-wantBeta) > 1e-9 {
+		t.Fatalf("beta %v want %v", series[0].Fit.Beta, wantBeta)
+	}
+}
+
+func TestStatSelectorValueAndString(t *testing.T) {
+	s := Statistics{GlobalRange: 1, LocalRangeStd: 2, LocalSVDStd: 3}
+	if XGlobalRange.Value(s) != 1 || XLocalRangeStd.Value(s) != 2 || XLocalSVDStd.Value(s) != 3 {
+		t.Fatal("selector values wrong")
+	}
+	if !strings.Contains(XGlobalRange.String(), "global variogram") {
+		t.Fatalf("label %q", XGlobalRange.String())
+	}
+	if !strings.Contains(XLocalSVDStd.String(), "SVD") {
+		t.Fatalf("label %q", XLocalSVDStd.String())
+	}
+}
+
+func TestPanelsByCompressorFilter(t *testing.T) {
+	ms := []Measurement{{
+		Stats: Statistics{GlobalRange: 4},
+		Results: []compress.Result{
+			{Compressor: "a", ErrorBound: 1e-3, Ratio: 10},
+			{Compressor: "a", ErrorBound: 1e-2, Ratio: 30},
+		},
+	}, {
+		Stats: Statistics{GlobalRange: 9},
+		Results: []compress.Result{
+			{Compressor: "a", ErrorBound: 1e-3, Ratio: 12},
+			{Compressor: "a", ErrorBound: 1e-2, Ratio: 40},
+		},
+	}}
+	all := PanelsByCompressor(ms, XGlobalRange, -1)
+	if len(all) != 1 || len(all[0].Series) != 2 {
+		t.Fatalf("panels %+v", all)
+	}
+	filtered := PanelsByCompressor(ms, XGlobalRange, 1e-2)
+	if len(filtered) != 1 || len(filtered[0].Series) != 1 {
+		t.Fatalf("filtered panels %+v", filtered)
+	}
+	if filtered[0].Series[0].ErrorBound != 1e-3 {
+		t.Fatalf("wrong series survived filter")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID:    "figX",
+		Title: "test",
+		Panels: []Panel{{
+			Title:  "p",
+			XLabel: "x",
+			Series: []Series{{Compressor: "a", ErrorBound: 1e-3, X: []float64{1, 2}, Y: []float64{3, 4}}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "panel: p", "eb=1e-03", "CR="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	err := Summarize(&buf, []Series{{Compressor: "c", ErrorBound: 1e-4, Y: []float64{2, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CR∈[2.00, 8.00]") {
+		t.Fatalf("summary %q", buf.String())
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/hydro"
+	"lossycorr/internal/xrand"
+)
+
+// Dataset is a named collection of 2D fields with optional generating
+// labels (true correlation range for synthetic fields, snapshot time
+// for hydro slices).
+type Dataset struct {
+	Name   string
+	Fields []*grid.Grid
+	Labels []float64
+}
+
+// SingleRangeConfig generates the paper's first dataset: single
+// correlation range Gaussian fields, one or more replicates per range.
+type SingleRangeConfig struct {
+	Rows, Cols int
+	Ranges     []float64 // generating correlation ranges
+	Replicates int       // fields per range; 0 means 1
+	Seed       uint64
+}
+
+// PaperRanges is a representative sweep of correlation ranges relative
+// to a field size of ~256; scaled copies are used for other sizes.
+var PaperRanges = []float64{2, 4, 8, 12, 16, 24, 32, 48}
+
+// GenerateSingleRange draws the single-range Gaussian dataset.
+func GenerateSingleRange(cfg SingleRangeConfig) (*Dataset, error) {
+	if len(cfg.Ranges) == 0 {
+		return nil, fmt.Errorf("core: no ranges configured")
+	}
+	reps := cfg.Replicates
+	if reps <= 0 {
+		reps = 1
+	}
+	rng := xrand.New(cfg.Seed)
+	ds := &Dataset{Name: "gaussian-single"}
+	for _, a := range cfg.Ranges {
+		s, err := gaussian.NewSampler(gaussian.Params{Rows: cfg.Rows, Cols: cfg.Cols, Range: a})
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			f, err := s.Sample(rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			ds.Fields = append(ds.Fields, f)
+			ds.Labels = append(ds.Labels, a)
+		}
+	}
+	return ds, nil
+}
+
+// MultiRangeConfig generates the multi-range dataset: pairs of distinct
+// ranges contributing equally (the paper's increased-complexity case).
+type MultiRangeConfig struct {
+	Rows, Cols int
+	RangePairs [][2]float64
+	Replicates int
+	Seed       uint64
+}
+
+// PaperRangePairs pairs a short and a long range, equal contribution.
+var PaperRangePairs = [][2]float64{
+	{2, 8}, {2, 16}, {4, 16}, {4, 32}, {8, 32}, {8, 48}, {12, 48}, {16, 48},
+}
+
+// GenerateMultiRange draws the multi-range Gaussian dataset. Labels
+// carry the geometric mean of each pair (a scalar summary used only
+// for bookkeeping; the statistics on the fields are what the analysis
+// uses).
+func GenerateMultiRange(cfg MultiRangeConfig) (*Dataset, error) {
+	if len(cfg.RangePairs) == 0 {
+		return nil, fmt.Errorf("core: no range pairs configured")
+	}
+	reps := cfg.Replicates
+	if reps <= 0 {
+		reps = 1
+	}
+	rng := xrand.New(cfg.Seed)
+	ds := &Dataset{Name: "gaussian-multi"}
+	for _, pair := range cfg.RangePairs {
+		for r := 0; r < reps; r++ {
+			f, err := gaussian.GenerateMulti(gaussian.MultiParams{
+				Rows: cfg.Rows, Cols: cfg.Cols,
+				Ranges: pair[:],
+				Seed:   rng.Uint64(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			ds.Fields = append(ds.Fields, f)
+			ds.Labels = append(ds.Labels, geoMean(pair[0], pair[1]))
+		}
+	}
+	return ds, nil
+}
+
+func geoMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return math.Sqrt(a * b)
+}
+
+// MirandaConfig generates the Miranda-substitute dataset: velocityx
+// snapshots of a Kelvin–Helmholtz run (see internal/hydro and
+// DESIGN.md for the substitution rationale).
+type MirandaConfig struct {
+	Size   int     // square field edge
+	Slices int     // number of snapshots
+	TEnd   float64 // final simulation time; 0 means 1.6
+	Seed   uint64
+}
+
+// GenerateMiranda runs the hydro solver and collects slices.
+func GenerateMiranda(cfg MirandaConfig) (*Dataset, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("core: non-positive size %d", cfg.Size)
+	}
+	set, err := hydro.GenerateSlices(cfg.Size, cfg.Slices, cfg.TEnd, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: "miranda-velocityx"}
+	ds.Fields = set.Slices
+	ds.Labels = set.Times
+	return ds, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestGenerateSingleRange(t *testing.T) {
+	ds, err := GenerateSingleRange(SingleRangeConfig{
+		Rows: 32, Cols: 32, Ranges: []float64{2, 8}, Replicates: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "gaussian-single" {
+		t.Fatalf("name %q", ds.Name)
+	}
+	if len(ds.Fields) != 6 || len(ds.Labels) != 6 {
+		t.Fatalf("got %d fields %d labels", len(ds.Fields), len(ds.Labels))
+	}
+	if ds.Labels[0] != 2 || ds.Labels[3] != 8 {
+		t.Fatalf("labels %v", ds.Labels)
+	}
+	// replicates with the same range must differ
+	if d, _ := ds.Fields[0].MaxAbsDiff(ds.Fields[1]); d == 0 {
+		t.Fatal("replicates identical")
+	}
+}
+
+func TestGenerateSingleRangeValidation(t *testing.T) {
+	if _, err := GenerateSingleRange(SingleRangeConfig{Rows: 8, Cols: 8}); err == nil {
+		t.Fatal("expected no-ranges error")
+	}
+}
+
+func TestGenerateSingleRangeDeterminism(t *testing.T) {
+	cfg := SingleRangeConfig{Rows: 16, Cols: 16, Ranges: []float64{4}, Seed: 9}
+	a, err := GenerateSingleRange(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSingleRange(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := a.Fields[0].MaxAbsDiff(b.Fields[0]); d != 0 {
+		t.Fatalf("seeded dataset not deterministic: %v", d)
+	}
+}
+
+func TestGenerateMultiRange(t *testing.T) {
+	ds, err := GenerateMultiRange(MultiRangeConfig{
+		Rows: 32, Cols: 32, RangePairs: [][2]float64{{2, 8}, {4, 16}}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Fields) != 2 {
+		t.Fatalf("fields %d", len(ds.Fields))
+	}
+	if ds.Labels[0] != 4 { // geometric mean of 2 and 8
+		t.Fatalf("label %v want 4", ds.Labels[0])
+	}
+	if _, err := GenerateMultiRange(MultiRangeConfig{Rows: 8, Cols: 8}); err == nil {
+		t.Fatal("expected no-pairs error")
+	}
+}
+
+func TestGenerateMiranda(t *testing.T) {
+	ds, err := GenerateMiranda(MirandaConfig{Size: 32, Slices: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "miranda-velocityx" {
+		t.Fatalf("name %q", ds.Name)
+	}
+	if len(ds.Fields) != 2 {
+		t.Fatalf("fields %d", len(ds.Fields))
+	}
+	if ds.Labels[0] >= ds.Labels[1] {
+		t.Fatalf("snapshot times not increasing: %v", ds.Labels)
+	}
+	if _, err := GenerateMiranda(MirandaConfig{Size: 0}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestPaperSweepsNonEmpty(t *testing.T) {
+	if len(PaperRanges) < 4 {
+		t.Fatal("PaperRanges too small")
+	}
+	for i := 1; i < len(PaperRanges); i++ {
+		if PaperRanges[i] <= PaperRanges[i-1] {
+			t.Fatalf("PaperRanges not increasing: %v", PaperRanges)
+		}
+	}
+	for _, p := range PaperRangePairs {
+		if p[0] >= p[1] {
+			t.Fatalf("pair %v not ordered", p)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lossycorr/internal/regression"
+)
+
+// StatSelector picks the x-axis statistic of a figure.
+type StatSelector int
+
+const (
+	// XGlobalRange plots against the estimated global variogram range
+	// (Figures 3 and 4).
+	XGlobalRange StatSelector = iota
+	// XLocalRangeStd plots against the std of local variogram ranges
+	// (Figure 5 and Figure 7 left).
+	XLocalRangeStd
+	// XLocalSVDStd plots against the std of local SVD truncation levels
+	// (Figure 6 and Figure 7 right).
+	XLocalSVDStd
+)
+
+// String names the selector as the paper's axis labels do.
+func (s StatSelector) String() string {
+	switch s {
+	case XGlobalRange:
+		return "Estimated global variogram range"
+	case XLocalRangeStd:
+		return fmt.Sprintf("Std estimated of local variogram range (H=%d)", DefaultWindow)
+	case XLocalSVDStd:
+		return fmt.Sprintf("Std of truncation level of local SVD (H=%d)", DefaultWindow)
+	default:
+		return "unknown statistic"
+	}
+}
+
+// Value extracts the selected statistic.
+func (s StatSelector) Value(st Statistics) float64 {
+	switch s {
+	case XGlobalRange:
+		return st.GlobalRange
+	case XLocalRangeStd:
+		return st.LocalRangeStd
+	default:
+		return st.LocalSVDStd
+	}
+}
+
+// Metric selects the y quantity of a series.
+type Metric int
+
+const (
+	// YRatio plots compression ratios (the paper's evaluation).
+	YRatio Metric = iota
+	// YPSNR plots reconstruction PSNR in dB (the paper's future-work
+	// quality metric).
+	YPSNR
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == YPSNR {
+		return "PSNR (dB)"
+	}
+	return "Compression ratio"
+}
+
+// Series is one curve of a figure panel: a compression metric of one
+// compressor at one error bound against one statistic, plus the fitted
+// logarithmic regression y = α + β·log(x).
+type Series struct {
+	Compressor string
+	ErrorBound float64
+	X, Y       []float64
+	Fit        regression.LogFit
+	FitOK      bool
+}
+
+// Panel is one subplot: all series of one compressor (or dataset
+// pairing) against one x statistic.
+type Panel struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Figure is an ordered set of panels with the paper's figure number.
+type Figure struct {
+	ID     string // "fig3", ...
+	Title  string
+	Panels []Panel
+}
+
+// BuildSeries groups measurements by (compressor, error bound) and
+// fits the paper's logarithmic regression per group, with compression
+// ratio on the y axis.
+func BuildSeries(ms []Measurement, sel StatSelector) []Series {
+	return BuildMetricSeries(ms, sel, YRatio)
+}
+
+// BuildMetricSeries is BuildSeries with a selectable y metric.
+func BuildMetricSeries(ms []Measurement, sel StatSelector, metric Metric) []Series {
+	type key struct {
+		comp string
+		eb   float64
+	}
+	groups := make(map[key]*Series)
+	var order []key
+	for _, m := range ms {
+		x := sel.Value(m.Stats)
+		for _, r := range m.Results {
+			k := key{r.Compressor, r.ErrorBound}
+			s, ok := groups[k]
+			if !ok {
+				s = &Series{Compressor: r.Compressor, ErrorBound: r.ErrorBound}
+				groups[k] = s
+				order = append(order, k)
+			}
+			s.X = append(s.X, x)
+			y := r.Ratio
+			if metric == YPSNR {
+				y = r.PSNR
+			}
+			s.Y = append(s.Y, y)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].comp != order[j].comp {
+			return order[i].comp < order[j].comp
+		}
+		return order[i].eb < order[j].eb
+	})
+	out := make([]Series, 0, len(order))
+	for _, k := range order {
+		s := groups[k]
+		if fit, err := regression.FitLog(s.X, s.Y); err == nil {
+			s.Fit = fit
+			s.FitOK = true
+		}
+		out = append(out, *s)
+	}
+	return out
+}
+
+// PanelsByCompressor splits series into one panel per compressor, the
+// layout of the paper's figures (SZ panel, ZFP panel, MGARD panel).
+// maxEB < 0 keeps everything; otherwise series with ErrorBound >= maxEB
+// are dropped (the paper's "error bounds strictly below 1E-2" panels).
+func PanelsByCompressor(ms []Measurement, sel StatSelector, maxEB float64) []Panel {
+	series := BuildSeries(ms, sel)
+	byComp := make(map[string][]Series)
+	var names []string
+	for _, s := range series {
+		if maxEB >= 0 && s.ErrorBound >= maxEB {
+			continue
+		}
+		if _, ok := byComp[s.Compressor]; !ok {
+			names = append(names, s.Compressor)
+		}
+		byComp[s.Compressor] = append(byComp[s.Compressor], s)
+	}
+	sort.Strings(names)
+	panels := make([]Panel, 0, len(names))
+	for _, n := range names {
+		panels = append(panels, Panel{Title: n, XLabel: sel.String(), Series: byComp[n]})
+	}
+	return panels
+}
+
+// Render writes a figure as aligned text tables, one block per panel
+// and one row per datapoint, with fit coefficients in the legend line —
+// the textual equivalent of the paper's plots.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		if _, err := fmt.Fprintf(w, "\n-- panel: %s  (x = %s) --\n", p.Title, p.XLabel); err != nil {
+			return err
+		}
+		for _, s := range p.Series {
+			legend := "fit unavailable"
+			if s.FitOK {
+				legend = s.Fit.String()
+			}
+			if _, err := fmt.Fprintf(w, "series %s eb=%.0e  %s\n", s.Compressor, s.ErrorBound, legend); err != nil {
+				return err
+			}
+			for i := range s.X {
+				if _, err := fmt.Fprintf(w, "  x=%12.5f  CR=%10.3f\n", s.X[i], s.Y[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Summarize prints one line per series (compressor, bound, fit, CR
+// span) — the compact form used by benchmarks.
+func Summarize(w io.Writer, series []Series) error {
+	for _, s := range series {
+		minY, maxY := minMax(s.Y)
+		legend := "fit n/a"
+		if s.FitOK {
+			legend = s.Fit.String()
+		}
+		if _, err := fmt.Fprintf(w, "%-11s eb=%.0e CR∈[%.2f, %.2f] %s\n",
+			s.Compressor, s.ErrorBound, minY, maxY, legend); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func minMax(x []float64) (float64, float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	mn, mx := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}

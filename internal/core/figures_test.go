@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the full figure pipeline fast enough for unit tests.
+func tinyConfig() FigureConfig {
+	return FigureConfig{
+		Size:          64,
+		Replicates:    1,
+		MirandaSlices: 2,
+		Seed:          5,
+		ErrorBounds:   []float64{1e-3},
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := FigureConfig{}.withDefaults()
+	if c.Size != 256 || c.Replicates != 2 || c.MirandaSlices != 6 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if len(c.ErrorBounds) != 4 {
+		t.Fatalf("default bounds %v", c.ErrorBounds)
+	}
+}
+
+func TestScaledRanges(t *testing.T) {
+	c := FigureConfig{Size: 128}.withDefaults()
+	rs := c.scaledRanges()
+	if rs[0] != PaperRanges[0]/2 {
+		t.Fatalf("scaling wrong: %v", rs)
+	}
+	ps := c.scaledPairs()
+	if ps[0][1] != PaperRangePairs[0][1]/2 {
+		t.Fatalf("pair scaling wrong: %v", ps)
+	}
+}
+
+func TestSuiteFigure1(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	var buf bytes.Buffer
+	if err := s.Figure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "fitted range", "empirical", "theoretical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 missing %q", want)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Fatalf("fig1 too short:\n%s", out)
+	}
+}
+
+func TestSuiteFigure2(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	var buf bytes.Buffer
+	if err := s.Figure2(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gaussian-range", "miranda-velocityx", "var="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteFigures3Through7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure pipeline in -short mode")
+	}
+	s := NewSuite(tinyConfig())
+	for n := 3; n <= 7; n++ {
+		fig, err := s.Figure(n)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if len(fig.Panels) == 0 {
+			t.Fatalf("figure %d has no panels", n)
+		}
+		for _, p := range fig.Panels {
+			if len(p.Series) == 0 {
+				t.Fatalf("figure %d panel %q empty", n, p.Title)
+			}
+			for _, sr := range p.Series {
+				if len(sr.X) != len(sr.Y) || len(sr.X) == 0 {
+					t.Fatalf("figure %d: series with %d/%d points", n, len(sr.X), len(sr.Y))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatalf("figure %d render: %v", n, err)
+		}
+	}
+	// figure 6 and 7 must not include mgard panels (paper omits it)
+	fig6, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig6.Panels {
+		if strings.Contains(p.Title, "mgard") {
+			t.Fatalf("figure 6 contains mgard panel %q", p.Title)
+		}
+	}
+	// figure 4 must include the reduced sz panel
+	fig4, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range fig4.Panels {
+		if strings.Contains(p.Title, "eb < 1e-2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("figure 4 missing reduced sz panel")
+	}
+}
+
+func TestSuiteCachesMeasurements(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	a, err := s.SingleRangeMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SingleRangeMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("measurements recomputed instead of cached")
+	}
+}
+
+func TestFigureUnknownNumber(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	if _, err := s.Figure(1); err == nil {
+		t.Fatal("figure 1 must direct to the textual API")
+	}
+	if _, err := s.Figure(99); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}

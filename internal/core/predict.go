@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/regression"
+)
+
+// Predictor estimates compression ratios for unseen fields from their
+// correlation statistics, using the logarithmic regressions fitted on a
+// training set of measurements — the forward application the paper's
+// introduction motivates ("anticipate compression performance and adapt
+// compressors to correlation structures").
+type Predictor struct {
+	sel  StatSelector
+	fits map[predKey]regression.LogFit
+}
+
+type predKey struct {
+	comp string
+	eb   float64
+}
+
+// TrainPredictor fits one log-regression per (compressor, error bound)
+// group present in the measurements, against the selected statistic.
+// Groups whose fit fails (e.g. all-identical x) are skipped.
+func TrainPredictor(ms []Measurement, sel StatSelector) (*Predictor, error) {
+	series := BuildSeries(ms, sel)
+	p := &Predictor{sel: sel, fits: make(map[predKey]regression.LogFit)}
+	for _, s := range series {
+		if s.FitOK {
+			p.fits[predKey{s.Compressor, s.ErrorBound}] = s.Fit
+		}
+	}
+	if len(p.fits) == 0 {
+		return nil, fmt.Errorf("core: no fittable series in %d measurements", len(ms))
+	}
+	return p, nil
+}
+
+// Models lists the trained (compressor, error bound) pairs in
+// deterministic order.
+func (p *Predictor) Models() []string {
+	out := make([]string, 0, len(p.fits))
+	for k := range p.fits {
+		out = append(out, fmt.Sprintf("%s@%.0e", k.comp, k.eb))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PredictRatio estimates the CR for a compressor and bound given a
+// field's statistics.
+func (p *Predictor) PredictRatio(compressor string, eb float64, stats Statistics) (float64, error) {
+	fit, ok := p.fits[predKey{compressor, eb}]
+	if !ok {
+		return 0, fmt.Errorf("core: no model for %s at eb=%g", compressor, eb)
+	}
+	x := p.sel.Value(stats)
+	if x <= 0 {
+		return 0, fmt.Errorf("core: statistic %v non-positive (%g), log model undefined", p.sel, x)
+	}
+	return fit.Predict(x), nil
+}
+
+// Selection is the outcome of compressor selection.
+type Selection struct {
+	Compressor string
+	Predicted  float64
+}
+
+// SelectCompressor returns the compressor with the highest predicted CR
+// at the given bound — the automated SZ-vs-ZFP switching idea of Tao et
+// al. (TPDS 2019) driven by correlation statistics instead of
+// compressor internals.
+func (p *Predictor) SelectCompressor(eb float64, stats Statistics) (Selection, error) {
+	best := Selection{Predicted: math.Inf(-1)}
+	for k, fit := range p.fits {
+		if k.eb != eb {
+			continue
+		}
+		x := p.sel.Value(stats)
+		if x <= 0 {
+			continue
+		}
+		cr := fit.Predict(x)
+		if cr > best.Predicted || (cr == best.Predicted && k.comp < best.Compressor) {
+			best = Selection{Compressor: k.comp, Predicted: cr}
+		}
+	}
+	if best.Compressor == "" {
+		return Selection{}, fmt.Errorf("core: no models at eb=%g", eb)
+	}
+	return best, nil
+}
+
+// PredictField is a convenience that analyzes a field and predicts its
+// CR for a compressor and bound in one call.
+func (p *Predictor) PredictField(g *grid.Grid, compressor string, eb float64, opts AnalysisOptions) (float64, error) {
+	stats, err := Analyze(g, opts)
+	if err != nil {
+		return 0, err
+	}
+	return p.PredictRatio(compressor, eb, stats)
+}

@@ -1,0 +1,162 @@
+// Package entropy provides Shannon-entropy computations and the
+// entropy-based compression-ratio estimator of the paper's related work
+// (Tao et al., TPDS 2019 — automatic online selection between SZ and
+// ZFP): quantize the field at the error bound, compute the entropy of
+// the quantization codes (optionally on sampled blocks), and bound the
+// achievable ratio by bits-per-value. The paper positions its
+// correlation statistics as a compressor-independent alternative to
+// exactly this estimator, so having both in one library allows direct
+// comparison.
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+// Shannon returns the empirical Shannon entropy of the symbol stream in
+// bits per symbol (0 for empty or single-symbol streams).
+func Shannon(symbols []uint16) float64 {
+	if len(symbols) == 0 {
+		return 0
+	}
+	freq := make(map[uint16]int, 256)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	n := float64(len(symbols))
+	var h float64
+	for _, c := range freq {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ShannonBytes is Shannon over a byte stream.
+func ShannonBytes(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	n := float64(len(data))
+	var h float64
+	for _, c := range freq {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// quantize maps a value to its 2·eb bin index, clamped into int32 so
+// pathological values cannot overflow the code space.
+func quantize(v, eb float64) int32 {
+	c := math.Round(v / (2 * eb))
+	switch {
+	case c > math.MaxInt32:
+		return math.MaxInt32
+	case c < math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(c)
+}
+
+// QuantizedEntropy returns the Shannon entropy (bits per value) of the
+// field quantized into 2·eb bins — the information content a lossy
+// compressor at bound eb must represent, up to its prediction skill.
+func QuantizedEntropy(g *grid.Grid, eb float64) (float64, error) {
+	if eb <= 0 {
+		return 0, fmt.Errorf("entropy: non-positive error bound %v", eb)
+	}
+	if g.Len() == 0 {
+		return 0, nil
+	}
+	freq := make(map[int32]int, 1024)
+	for _, v := range g.Data {
+		freq[quantize(v, eb)]++
+	}
+	n := float64(g.Len())
+	var h float64
+	for _, c := range freq {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}
+
+// EstimateRatio converts a bits-per-value entropy into an upper-bound
+// compression ratio for float64 data: 64 / max(h, ε). It ignores
+// prediction (decorrelation) gains, so real predictive compressors can
+// exceed it, but it tracks compressibility trends the way the related
+// work uses it.
+func EstimateRatio(bitsPerValue float64) float64 {
+	const minBits = 1e-3 // floor: even a constant field needs headers
+	if bitsPerValue < minBits {
+		bitsPerValue = minBits
+	}
+	return 64 / bitsPerValue
+}
+
+// SampledOptions controls block-sampled entropy estimation.
+type SampledOptions struct {
+	BlockSize  int     // sampling block edge; 0 means 16
+	SampleFrac float64 // fraction of blocks sampled; 0 means 0.1
+	Seed       uint64
+}
+
+// SampledQuantizedEntropy estimates QuantizedEntropy from a random
+// subset of blocks — the block-based sampling strategy of the related
+// work (Lu et al., IPDPS 2018; Tao et al., TPDS 2019), which trades
+// accuracy for a large constant-factor speedup on big fields.
+func SampledQuantizedEntropy(g *grid.Grid, eb float64, opts SampledOptions) (float64, error) {
+	if eb <= 0 {
+		return 0, fmt.Errorf("entropy: non-positive error bound %v", eb)
+	}
+	bs := opts.BlockSize
+	if bs <= 0 {
+		bs = 16
+	}
+	frac := opts.SampleFrac
+	if frac <= 0 {
+		frac = 0.1
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	type block struct{ r0, c0 int }
+	var blocks []block
+	g.Tiles(bs, func(r0, c0 int, w *grid.Grid) {
+		blocks = append(blocks, block{r0, c0})
+	})
+	if len(blocks) == 0 {
+		return 0, nil
+	}
+	take := int(math.Ceil(frac * float64(len(blocks))))
+	rng := xrand.New(opts.Seed ^ 0xb10cb10c)
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	freq := make(map[int32]int, 1024)
+	total := 0
+	for _, b := range blocks[:take] {
+		w := g.Window(b.r0, b.c0, bs, bs)
+		for _, v := range w.Data {
+			freq[quantize(v, eb)]++
+			total++
+		}
+	}
+	n := float64(total)
+	var h float64
+	for _, c := range freq {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}

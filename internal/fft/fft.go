@@ -1,0 +1,218 @@
+// Package fft implements radix-2 complex fast Fourier transforms in one
+// and two dimensions. It is the numerical engine behind the exact
+// circulant-embedding Gaussian field sampler and the spectral
+// diagnostics; only power-of-two lengths are supported, with NextPow2
+// available for padding.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddles returns the first half of the n-th roots of unity,
+// exp(-2πik/n) for k in [0, n/2), the set used by a forward transform.
+func twiddles(n int) []complex128 {
+	w := make([]complex128, n/2)
+	for k := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(c, s)
+	}
+	return w
+}
+
+// Forward computes the in-place unnormalized forward DFT of x, whose
+// length must be a power of two:
+//
+//	X[k] = Σ_j x[j]·exp(-2πi jk/n)
+func Forward(x []complex128) error {
+	return transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x with the 1/n
+// normalization so that Inverse(Forward(x)) == x.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(x))
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// bit-reversal permutation
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = complex(real(tw), -imag(tw))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// Forward2D computes the in-place forward DFT of a rows×cols row-major
+// complex grid; both dimensions must be powers of two.
+func Forward2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Forward)
+}
+
+// Inverse2D computes the normalized in-place inverse 2D DFT.
+func Inverse2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Inverse)
+}
+
+func transform2D(x []complex128, rows, cols int, f func([]complex128) error) error {
+	if len(x) != rows*cols {
+		return fmt.Errorf("fft: buffer length %d != %d*%d", len(x), rows, cols)
+	}
+	for r := 0; r < rows; r++ {
+		if err := f(x[r*cols : (r+1)*cols]); err != nil {
+			return err
+		}
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if err := f(col); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+	return nil
+}
+
+// Forward3D computes the in-place forward DFT of an (nz, ny, nx)
+// row-major complex volume (x fastest); all dimensions must be powers
+// of two.
+func Forward3D(x []complex128, nz, ny, nx int) error {
+	return transform3D(x, nz, ny, nx, Forward)
+}
+
+// Inverse3D computes the normalized in-place inverse 3D DFT.
+func Inverse3D(x []complex128, nz, ny, nx int) error {
+	return transform3D(x, nz, ny, nx, Inverse)
+}
+
+func transform3D(x []complex128, nz, ny, nx int, f func([]complex128) error) error {
+	if len(x) != nz*ny*nx {
+		return fmt.Errorf("fft: buffer length %d != %d*%d*%d", len(x), nz, ny, nx)
+	}
+	// x lines
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			off := (z*ny + y) * nx
+			if err := f(x[off : off+nx]); err != nil {
+				return err
+			}
+		}
+	}
+	// y lines
+	line := make([]complex128, ny)
+	for z := 0; z < nz; z++ {
+		for c := 0; c < nx; c++ {
+			for y := 0; y < ny; y++ {
+				line[y] = x[(z*ny+y)*nx+c]
+			}
+			if err := f(line); err != nil {
+				return err
+			}
+			for y := 0; y < ny; y++ {
+				x[(z*ny+y)*nx+c] = line[y]
+			}
+		}
+	}
+	// z lines
+	if cap(line) < nz {
+		line = make([]complex128, nz)
+	}
+	line = line[:nz]
+	for y := 0; y < ny; y++ {
+		for c := 0; c < nx; c++ {
+			for z := 0; z < nz; z++ {
+				line[z] = x[(z*ny+y)*nx+c]
+			}
+			if err := f(line); err != nil {
+				return err
+			}
+			for z := 0; z < nz; z++ {
+				x[(z*ny+y)*nx+c] = line[z]
+			}
+		}
+	}
+	return nil
+}
+
+// RealForward computes the DFT of a real sequence, returning a full
+// complex spectrum (convenience; no half-spectrum packing).
+func RealForward(x []float64) ([]complex128, error) {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	if err := Forward(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PowerSpectrum2D returns |FFT2(x)|²/n for a real rows×cols field, a
+// cheap diagnostic used in tests of field generators.
+func PowerSpectrum2D(x []float64, rows, cols int) ([]float64, error) {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	if err := Forward2D(buf, rows, cols); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	n := float64(len(x))
+	for i, v := range buf {
+		out[i] = (real(v)*real(v) + imag(v)*imag(v)) / n
+	}
+	return out, nil
+}

@@ -1,0 +1,366 @@
+// Package grid provides dense 2D field and 3D volume containers used
+// throughout lossycorr: row-major float64 grids with window tiling,
+// summary statistics, and binary I/O compatible with the flat
+// little-endian layouts used by SDRBench-style scientific datasets.
+package grid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Grid is a dense 2D scalar field stored row-major: element (r, c) lives
+// at Data[r*Cols+c]. The zero value is an empty grid.
+type Grid struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-filled rows×cols grid.
+func New(rows, cols int) *Grid {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("grid: negative dimensions %dx%d", rows, cols))
+	}
+	return &Grid{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps an existing row-major slice; it does not copy. The
+// slice length must equal rows*cols.
+func FromData(rows, cols int, data []float64) (*Grid, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("grid: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Grid{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// FromFunc builds a grid by evaluating f at every (row, col) index.
+func FromFunc(rows, cols int, f func(r, c int) float64) *Grid {
+	g := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := g.Data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			row[c] = f(r, c)
+		}
+	}
+	return g
+}
+
+// At returns the element at (r, c).
+func (g *Grid) At(r, c int) float64 { return g.Data[r*g.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (g *Grid) Set(r, c int, v float64) { g.Data[r*g.Cols+c] = v }
+
+// Len returns the number of elements.
+func (g *Grid) Len() int { return g.Rows * g.Cols }
+
+// SizeBytes returns the uncompressed size in bytes (8 per element),
+// the numerator of every compression ratio in the paper.
+func (g *Grid) SizeBytes() int { return g.Len() * 8 }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := New(g.Rows, g.Cols)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Row returns the r-th row as a shared (not copied) slice.
+func (g *Grid) Row(r int) []float64 { return g.Data[r*g.Cols : (r+1)*g.Cols] }
+
+// Window copies the rectangle with top-left corner (r0, c0) and the
+// given extent. The window is clipped to the grid, so callers tiling a
+// non-multiple grid receive ragged edge windows.
+func (g *Grid) Window(r0, c0, rows, cols int) *Grid {
+	if r0 < 0 || c0 < 0 || r0 >= g.Rows || c0 >= g.Cols {
+		panic(fmt.Sprintf("grid: window origin (%d,%d) outside %dx%d", r0, c0, g.Rows, g.Cols))
+	}
+	if r0+rows > g.Rows {
+		rows = g.Rows - r0
+	}
+	if c0+cols > g.Cols {
+		cols = g.Cols - c0
+	}
+	w := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(w.Row(r), g.Data[(r0+r)*g.Cols+c0:(r0+r)*g.Cols+c0+cols])
+	}
+	return w
+}
+
+// Tiles calls fn for every window of size h×h covering the grid in a
+// tiled (non-overlapping) fashion, matching the windowed statistics of
+// the paper (H=32). Edge tiles are clipped. fn receives the window's
+// top-left corner and the (copied) window.
+func (g *Grid) Tiles(h int, fn func(r0, c0 int, w *Grid)) {
+	if h <= 0 {
+		panic("grid: non-positive tile size")
+	}
+	for r0 := 0; r0 < g.Rows; r0 += h {
+		for c0 := 0; c0 < g.Cols; c0 += h {
+			fn(r0, c0, g.Window(r0, c0, h, h))
+		}
+	}
+}
+
+// NumTiles returns how many h×h tiles (including clipped edge tiles)
+// cover the grid.
+func (g *Grid) NumTiles(h int) int {
+	return ((g.Rows + h - 1) / h) * ((g.Cols + h - 1) / h)
+}
+
+// Stats summarizes a field.
+type Stats struct {
+	Min, Max   float64
+	Mean       float64
+	Variance   float64 // population variance
+	ValueRange float64 // Max - Min
+}
+
+// Summary computes min/max/mean/variance in one pass (Welford).
+func (g *Grid) Summary() Stats {
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	if g.Len() == 0 {
+		return Stats{}
+	}
+	var mean, m2 float64
+	for i, v := range g.Data {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+	}
+	s.Mean = mean
+	s.Variance = m2 / float64(g.Len())
+	s.ValueRange = s.Max - s.Min
+	return s
+}
+
+// MaxAbsDiff returns max|g-o| over all elements; the grids must agree
+// in shape.
+func (g *Grid) MaxAbsDiff(o *Grid) (float64, error) {
+	if g.Rows != o.Rows || g.Cols != o.Cols {
+		return 0, fmt.Errorf("grid: shape mismatch %dx%d vs %dx%d", g.Rows, g.Cols, o.Rows, o.Cols)
+	}
+	var m float64
+	for i := range g.Data {
+		d := math.Abs(g.Data[i] - o.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error between two equally shaped grids.
+func (g *Grid) MSE(o *Grid) (float64, error) {
+	if g.Rows != o.Rows || g.Cols != o.Cols {
+		return 0, fmt.Errorf("grid: shape mismatch %dx%d vs %dx%d", g.Rows, g.Cols, o.Rows, o.Cols)
+	}
+	if g.Len() == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range g.Data {
+		d := g.Data[i] - o.Data[i]
+		sum += d * d
+	}
+	return sum / float64(g.Len()), nil
+}
+
+// Scale multiplies every element by k in place and returns g.
+func (g *Grid) Scale(k float64) *Grid {
+	for i := range g.Data {
+		g.Data[i] *= k
+	}
+	return g
+}
+
+// AddScaled adds k*o element-wise in place and returns g.
+func (g *Grid) AddScaled(k float64, o *Grid) (*Grid, error) {
+	if g.Rows != o.Rows || g.Cols != o.Cols {
+		return nil, fmt.Errorf("grid: shape mismatch %dx%d vs %dx%d", g.Rows, g.Cols, o.Rows, o.Cols)
+	}
+	for i := range g.Data {
+		g.Data[i] += k * o.Data[i]
+	}
+	return g, nil
+}
+
+// Normalize rescales the field in place to zero mean and unit variance
+// (no-op for constant fields) and returns g.
+func (g *Grid) Normalize() *Grid {
+	s := g.Summary()
+	sd := math.Sqrt(s.Variance)
+	if sd == 0 {
+		for i := range g.Data {
+			g.Data[i] -= s.Mean
+		}
+		return g
+	}
+	for i := range g.Data {
+		g.Data[i] = (g.Data[i] - s.Mean) / sd
+	}
+	return g
+}
+
+var errShortHeader = errors.New("grid: short header")
+
+// WriteBinary writes the grid as a little-endian stream: two uint32
+// dimensions followed by rows*cols float64 values.
+func (g *Grid) WriteBinary(w io.Writer) error {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(g.Rows))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.Cols))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*g.Cols)
+	for r := 0; r < g.Rows; r++ {
+		row := g.Row(r)
+		for c, v := range row {
+			binary.LittleEndian.PutUint64(buf[8*c:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary reads a grid written by WriteBinary.
+func ReadBinary(r io.Reader) (*Grid, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, errShortHeader
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	const maxElems = 1 << 30
+	if rows < 0 || cols < 0 || rows*cols > maxElems {
+		return nil, fmt.Errorf("grid: unreasonable dimensions %dx%d", rows, cols)
+	}
+	g := New(rows, cols)
+	buf := make([]byte, 8*cols)
+	for rr := 0; rr < rows; rr++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("grid: short body: %w", err)
+		}
+		row := g.Row(rr)
+		for c := range row {
+			row[c] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*c:]))
+		}
+	}
+	return g, nil
+}
+
+// WriteRawFloat32 writes only the payload as float32 little-endian,
+// the layout used by SDRBench single-precision datasets.
+func (g *Grid) WriteRawFloat32(w io.Writer) error {
+	buf := make([]byte, 4*g.Cols)
+	for r := 0; r < g.Rows; r++ {
+		row := g.Row(r)
+		for c, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*c:], math.Float32bits(float32(v)))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRawFloat32 reads rows*cols float32 values into a float64 grid.
+func ReadRawFloat32(r io.Reader, rows, cols int) (*Grid, error) {
+	g := New(rows, cols)
+	buf := make([]byte, 4*cols)
+	for rr := 0; rr < rows; rr++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("grid: short float32 body: %w", err)
+		}
+		row := g.Row(rr)
+		for c := range row {
+			row[c] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*c:])))
+		}
+	}
+	return g, nil
+}
+
+// WritePGM renders the grid as an 8-bit PGM image (min..max stretched
+// to 0..255), handy for eyeballing fields as in the paper's Figure 2.
+func (g *Grid) WritePGM(w io.Writer) error {
+	s := g.Summary()
+	scale := 0.0
+	if s.ValueRange > 0 {
+		scale = 255 / s.ValueRange
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.Cols, g.Rows); err != nil {
+		return err
+	}
+	buf := make([]byte, g.Cols)
+	for r := 0; r < g.Rows; r++ {
+		row := g.Row(r)
+		for c, v := range row {
+			buf[c] = byte(math.Round((v - s.Min) * scale))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Volume is a dense 3D scalar field stored with x fastest, matching the
+// (nz, ny, nx) slab ordering of Miranda outputs: element (z, y, x) lives
+// at Data[(z*Ny+y)*Nx+x].
+type Volume struct {
+	Nz, Ny, Nx int
+	Data       []float64
+}
+
+// NewVolume returns a zero-filled volume.
+func NewVolume(nz, ny, nx int) *Volume {
+	return &Volume{Nz: nz, Ny: ny, Nx: nx, Data: make([]float64, nz*ny*nx)}
+}
+
+// At returns the element at (z, y, x).
+func (v *Volume) At(z, y, x int) float64 { return v.Data[(z*v.Ny+y)*v.Nx+x] }
+
+// Set assigns the element at (z, y, x).
+func (v *Volume) Set(z, y, x int, val float64) { v.Data[(z*v.Ny+y)*v.Nx+x] = val }
+
+// SliceZ extracts the 2D slice at fixed z (a ny×nx grid), the way the
+// paper slices Miranda's 3D fields along the first dimension.
+func (v *Volume) SliceZ(z int) *Grid {
+	if z < 0 || z >= v.Nz {
+		panic(fmt.Sprintf("grid: slice index %d outside [0,%d)", z, v.Nz))
+	}
+	g := New(v.Ny, v.Nx)
+	copy(g.Data, v.Data[z*v.Ny*v.Nx:(z+1)*v.Ny*v.Nx])
+	return g
+}
+
+// EquallySpacedSlices returns n slices along z at equal spacing,
+// mirroring the paper's slicing of the 256×384×384 Miranda volume.
+func (v *Volume) EquallySpacedSlices(n int) []*Grid {
+	if n <= 0 || v.Nz == 0 {
+		return nil
+	}
+	if n > v.Nz {
+		n = v.Nz
+	}
+	out := make([]*Grid, 0, n)
+	step := float64(v.Nz) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, v.SliceZ(int(float64(i)*step)))
+	}
+	return out
+}

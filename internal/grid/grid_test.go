@@ -1,0 +1,332 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	g := New(3, 4)
+	if g.Rows != 3 || g.Cols != 4 || g.Len() != 12 {
+		t.Fatalf("bad shape %dx%d len %d", g.Rows, g.Cols, g.Len())
+	}
+	for i, v := range g.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestFromData(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	g, err := FromData(2, 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(1, 2) != 6 {
+		t.Fatalf("At(1,2)=%v want 6", g.At(1, 2))
+	}
+	g.Set(0, 1, 42)
+	if d[1] != 42 {
+		t.Fatal("FromData must not copy")
+	}
+	if _, err := FromData(2, 2, d); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	g := FromFunc(4, 5, func(r, c int) float64 { return float64(10*r + c) })
+	if g.At(3, 4) != 34 || g.At(0, 0) != 0 {
+		t.Fatalf("FromFunc wrong values")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(10, 10).SizeBytes(); got != 800 {
+		t.Fatalf("SizeBytes=%d want 800", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := FromFunc(2, 2, func(r, c int) float64 { return 1 })
+	h := g.Clone()
+	h.Set(0, 0, 9)
+	if g.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	g := FromFunc(5, 5, func(r, c int) float64 { return float64(r*5 + c) })
+	w := g.Window(3, 3, 4, 4)
+	if w.Rows != 2 || w.Cols != 2 {
+		t.Fatalf("clip produced %dx%d, want 2x2", w.Rows, w.Cols)
+	}
+	if w.At(0, 0) != 18 || w.At(1, 1) != 24 {
+		t.Fatalf("window content wrong: %v", w.Data)
+	}
+}
+
+func TestWindowPanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 3).Window(3, 0, 1, 1)
+}
+
+func TestTilesCoverEverythingOnce(t *testing.T) {
+	g := FromFunc(7, 10, func(r, c int) float64 { return 1 })
+	var count int
+	var cells int
+	g.Tiles(4, func(r0, c0 int, w *Grid) {
+		count++
+		cells += w.Len()
+	})
+	if want := g.NumTiles(4); count != want {
+		t.Fatalf("tile count %d want %d", count, want)
+	}
+	if cells != g.Len() {
+		t.Fatalf("tiles cover %d cells, want %d", cells, g.Len())
+	}
+}
+
+func TestNumTiles(t *testing.T) {
+	g := New(32, 32)
+	if n := g.NumTiles(32); n != 1 {
+		t.Fatalf("NumTiles(32)=%d", n)
+	}
+	if n := g.NumTiles(31); n != 4 {
+		t.Fatalf("NumTiles(31)=%d", n)
+	}
+}
+
+func TestSummaryKnownValues(t *testing.T) {
+	g, _ := FromData(1, 4, []float64{1, 2, 3, 4})
+	s := g.Summary()
+	if s.Min != 1 || s.Max != 4 || s.ValueRange != 3 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("variance %v", s.Variance)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := New(0, 0).Summary()
+	if s.Mean != 0 || s.Variance != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestMaxAbsDiffAndMSE(t *testing.T) {
+	a, _ := FromData(1, 3, []float64{1, 2, 3})
+	b, _ := FromData(1, 3, []float64{1, 2.5, 2})
+	d, err := a.MaxAbsDiff(b)
+	if err != nil || d != 1 {
+		t.Fatalf("MaxAbsDiff=%v err=%v", d, err)
+	}
+	m, err := a.MSE(b)
+	if err != nil || math.Abs(m-(0.25+1)/3) > 1e-12 {
+		t.Fatalf("MSE=%v err=%v", m, err)
+	}
+	c := New(2, 2)
+	if _, err := a.MaxAbsDiff(c); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := a.MSE(c); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	a, _ := FromData(1, 2, []float64{1, 2})
+	b, _ := FromData(1, 2, []float64{10, 20})
+	a.Scale(2)
+	if a.Data[1] != 4 {
+		t.Fatal("scale wrong")
+	}
+	if _, err := a.AddScaled(0.1, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 3 || a.Data[1] != 6 {
+		t.Fatalf("AddScaled wrong: %v", a.Data)
+	}
+	if _, err := a.AddScaled(1, New(3, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g, _ := FromData(1, 4, []float64{2, 4, 6, 8})
+	g.Normalize()
+	s := g.Summary()
+	if math.Abs(s.Mean) > 1e-12 || math.Abs(s.Variance-1) > 1e-12 {
+		t.Fatalf("normalize gave mean=%v var=%v", s.Mean, s.Variance)
+	}
+	c, _ := FromData(1, 3, []float64{5, 5, 5})
+	c.Normalize()
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("constant normalize -> %v", c.Data)
+		}
+	}
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	g := FromFunc(6, 3, func(r, c int) float64 { return float64(r) - 2.5*float64(c) })
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := g.MaxAbsDiff(h); d != 0 {
+		t.Fatalf("roundtrip diff %v", d)
+	}
+}
+
+func TestBinaryRoundtripQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		cols := len(vals)
+		g, _ := FromData(1, cols, vals)
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			a, b := g.Data[i], h.Data[i]
+			if math.IsNaN(a) != math.IsNaN(b) {
+				return false
+			}
+			if !math.IsNaN(a) && a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected short header error")
+	}
+	var buf bytes.Buffer
+	g := New(2, 2)
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:12]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected short body error")
+	}
+}
+
+func TestRawFloat32Roundtrip(t *testing.T) {
+	g := FromFunc(3, 4, func(r, c int) float64 { return float64(r) + 0.5*float64(c) })
+	var buf bytes.Buffer
+	if err := g.WriteRawFloat32(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadRawFloat32(&buf, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := g.MaxAbsDiff(h); d > 1e-6 {
+		t.Fatalf("float32 roundtrip diff %v", d)
+	}
+	if _, err := ReadRawFloat32(bytes.NewReader(nil), 2, 2); err == nil {
+		t.Fatal("expected short body error")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	g := FromFunc(2, 3, func(r, c int) float64 { return float64(r*3 + c) })
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P5\n3 2\n255\n") {
+		t.Fatalf("bad PGM header: %q", s[:12])
+	}
+	body := buf.Bytes()[len("P5\n3 2\n255\n"):]
+	if len(body) != 6 {
+		t.Fatalf("PGM body %d bytes", len(body))
+	}
+	if body[0] != 0 || body[5] != 255 {
+		t.Fatalf("PGM stretch wrong: %v", body)
+	}
+}
+
+func TestVolumeSlices(t *testing.T) {
+	v := NewVolume(4, 3, 2)
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 2; x++ {
+				v.Set(z, y, x, float64(100*z+10*y+x))
+			}
+		}
+	}
+	g := v.SliceZ(2)
+	if g.Rows != 3 || g.Cols != 2 {
+		t.Fatalf("slice shape %dx%d", g.Rows, g.Cols)
+	}
+	if g.At(1, 1) != 211 {
+		t.Fatalf("slice content %v", g.At(1, 1))
+	}
+	if v.At(3, 2, 1) != 321 {
+		t.Fatalf("At wrong")
+	}
+	slices := v.EquallySpacedSlices(2)
+	if len(slices) != 2 {
+		t.Fatalf("got %d slices", len(slices))
+	}
+	if slices[0].At(0, 0) != 0 || slices[1].At(0, 0) != 200 {
+		t.Fatalf("slice spacing wrong: %v %v", slices[0].At(0, 0), slices[1].At(0, 0))
+	}
+	if got := v.EquallySpacedSlices(99); len(got) != 4 {
+		t.Fatalf("over-request gave %d", len(got))
+	}
+	if got := v.EquallySpacedSlices(0); got != nil {
+		t.Fatal("zero request should be nil")
+	}
+}
+
+func TestVolumeSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVolume(2, 2, 2).SliceZ(5)
+}

@@ -1,0 +1,282 @@
+// Package huffman implements a canonical Huffman coder over 16-bit
+// symbols. It is the entropy stage of the SZ-like and MGARD-like
+// compressors, mirroring the Huffman pass of the original SZ pipeline.
+//
+// The encoded stream is self-describing: a compact header enumerates
+// the (symbol, code length) pairs of the canonical code followed by the
+// symbol count and the bit payload, so Decode needs no side channel.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"lossycorr/internal/bitstream"
+)
+
+// MaxCodeLen caps code lengths; with <= 65536 symbols and the package's
+// length-limiting rebalancing pass, 32 bits is always achievable.
+const MaxCodeLen = 32
+
+type node struct {
+	freq        uint64
+	symbol      uint16
+	leaf        bool
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	// tie-break on symbol for determinism
+	return h[i].symbol < h[j].symbol
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths from frequencies, then
+// clamps to MaxCodeLen with a simple Kraft-sum repair pass.
+func codeLengths(freq map[uint16]uint64) map[uint16]uint8 {
+	lengths := make(map[uint16]uint8, len(freq))
+	switch len(freq) {
+	case 0:
+		return lengths
+	case 1:
+		for s := range freq {
+			lengths[s] = 1
+		}
+		return lengths
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &node{freq: f, symbol: s, leaf: true})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: minSym(a, b), left: a, right: b})
+	}
+	root := h[0]
+	var walk func(n *node, depth uint8)
+	walk = func(n *node, depth uint8) {
+		if n.leaf {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	clampLengths(lengths)
+	return lengths
+}
+
+func minSym(a, b *node) uint16 {
+	if a.symbol < b.symbol {
+		return a.symbol
+	}
+	return b.symbol
+}
+
+// clampLengths enforces MaxCodeLen while keeping the Kraft inequality
+// tight enough for a valid prefix code.
+func clampLengths(lengths map[uint16]uint8) {
+	over := false
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	for s, l := range lengths {
+		if l > MaxCodeLen {
+			lengths[s] = MaxCodeLen
+		}
+	}
+	// repair Kraft sum K = Σ 2^-l <= 1 by lengthening the shortest codes
+	kraft := func() float64 {
+		var k float64
+		for _, l := range lengths {
+			k += 1 / float64(uint64(1)<<l)
+		}
+		return k
+	}
+	for kraft() > 1 {
+		// lengthen the symbol with the shortest length < MaxCodeLen
+		var best uint16
+		bestLen := uint8(MaxCodeLen + 1)
+		for s, l := range lengths {
+			if l < bestLen {
+				best, bestLen = s, l
+			}
+		}
+		if bestLen >= MaxCodeLen {
+			break
+		}
+		lengths[best] = bestLen + 1
+	}
+}
+
+// canonical assigns canonical codes (shorter lengths first, then symbol
+// order) given lengths. Returned map is symbol → (code, length).
+type codeEntry struct {
+	code uint32
+	len  uint8
+}
+
+func canonical(lengths map[uint16]uint8) map[uint16]codeEntry {
+	type sl struct {
+		sym uint16
+		l   uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].l != list[j].l {
+			return list[i].l < list[j].l
+		}
+		return list[i].sym < list[j].sym
+	})
+	codes := make(map[uint16]codeEntry, len(list))
+	var code uint32
+	var prevLen uint8
+	for _, e := range list {
+		code <<= e.l - prevLen
+		codes[e.sym] = codeEntry{code: code, len: e.l}
+		code++
+		prevLen = e.l
+	}
+	return codes
+}
+
+// Encode compresses symbols into a self-describing byte stream.
+func Encode(symbols []uint16) []byte {
+	freq := make(map[uint16]uint64)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	codes := canonical(lengths)
+
+	// header: numSymbols(u32), numDistinct(u32), then (symbol u16, len u8)*
+	hdr := make([]byte, 8, 8+3*len(lengths))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(symbols)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(lengths)))
+	type sl struct {
+		sym uint16
+		l   uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].sym < list[j].sym })
+	for _, e := range list {
+		var b [3]byte
+		binary.LittleEndian.PutUint16(b[0:], e.sym)
+		b[2] = e.l
+		hdr = append(hdr, b[:]...)
+	}
+
+	w := bitstream.NewWriter()
+	for _, s := range symbols {
+		e := codes[s]
+		w.WriteBits(uint64(e.code), uint(e.len))
+	}
+	return append(hdr, w.Bytes()...)
+}
+
+// ErrCorrupt reports a malformed Huffman stream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]uint16, error) {
+	if len(data) < 8 {
+		return nil, ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(data[0:]))
+	distinct := int(binary.LittleEndian.Uint32(data[4:]))
+	if count < 0 || distinct < 0 || distinct > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	if len(data) < 8+3*distinct {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[uint16]uint8, distinct)
+	for i := 0; i < distinct; i++ {
+		off := 8 + 3*i
+		sym := binary.LittleEndian.Uint16(data[off:])
+		l := data[off+2]
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		lengths[sym] = l
+	}
+	if count == 0 {
+		return []uint16{}, nil
+	}
+	if distinct == 0 {
+		return nil, ErrCorrupt
+	}
+	codes := canonical(lengths)
+	// decoding table keyed by (length, code)
+	type key struct {
+		len  uint8
+		code uint32
+	}
+	table := make(map[key]uint16, len(codes))
+	maxLen := uint8(0)
+	for s, e := range codes {
+		table[key{e.len, e.code}] = s
+		if e.len > maxLen {
+			maxLen = e.len
+		}
+	}
+	r := bitstream.NewReader(data[8+3*distinct:])
+	out := make([]uint16, 0, count)
+	for len(out) < count {
+		var code uint32
+		var l uint8
+		found := false
+		for l < maxLen {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huffman: truncated payload: %w", err)
+			}
+			code = code<<1 | uint32(b)
+			l++
+			if s, ok := table[key{l, code}]; ok {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lossycorr/internal/xrand"
+)
+
+func roundtrip(t *testing.T, symbols []uint16) {
+	t.Helper()
+	enc := Encode(symbols)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(symbols) {
+		t.Fatalf("length %d want %d", len(dec), len(symbols))
+	}
+	for i := range dec {
+		if dec[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, dec[i], symbols[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) { roundtrip(t, []uint16{}) }
+
+func TestSingleSymbol(t *testing.T) {
+	roundtrip(t, []uint16{7})
+	roundtrip(t, []uint16{7, 7, 7, 7, 7, 7})
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundtrip(t, []uint16{0, 65535, 0, 0, 65535})
+}
+
+func TestAscending(t *testing.T) {
+	s := make([]uint16, 1000)
+	for i := range s {
+		s[i] = uint16(i % 300)
+	}
+	roundtrip(t, s)
+}
+
+func TestSkewedDistributionCompresses(t *testing.T) {
+	// 95% one symbol: entropy ≈ 0.3 bits/symbol, so payload must be far
+	// below 16 bits/symbol.
+	rng := xrand.New(3)
+	s := make([]uint16, 20000)
+	for i := range s {
+		if rng.Float64() < 0.95 {
+			s[i] = 100
+		} else {
+			s[i] = uint16(rng.Intn(50))
+		}
+	}
+	enc := Encode(s)
+	if len(enc) > len(s)/2 {
+		t.Fatalf("skewed stream encoded to %d bytes for %d symbols", len(enc), len(s))
+	}
+	roundtrip(t, s)
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(s []uint16) bool {
+		enc := Encode(s)
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(s) {
+			return false
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil stream should error")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short stream should error")
+	}
+	enc := Encode([]uint16{1, 2, 3, 1, 2, 3, 9, 9})
+	// truncate the payload
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+	// corrupt the declared symbol count upward
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("inflated count should error")
+	}
+}
+
+func TestHeaderDeterminism(t *testing.T) {
+	s := []uint16{5, 1, 5, 2, 5, 3}
+	a := Encode(s)
+	b := Encode(s)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestManyDistinctSymbols(t *testing.T) {
+	s := make([]uint16, 5000)
+	rng := xrand.New(8)
+	for i := range s {
+		s[i] = uint16(rng.Intn(65536))
+	}
+	roundtrip(t, s)
+}

@@ -1,0 +1,73 @@
+// Package lossless wraps the stdlib DEFLATE codec (compress/flate) used
+// as the final lossless stage of every lossy compressor in this
+// repository, standing in for the Zstd/Zlib back ends of SZ and MGARD.
+// It also provides the byte-shuffle filter that groups same-significance
+// bytes of fixed-width records, which dramatically improves DEFLATE's
+// ratio on quantized scientific data.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compress deflates data at the maximum compression level.
+func Compress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress inflates data produced by Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// Shuffle reorders data so that byte k of every width-sized record is
+// contiguous (a transpose of the records×width byte matrix). len(data)
+// must be a multiple of width.
+func Shuffle(data []byte, width int) ([]byte, error) {
+	if width <= 0 || len(data)%width != 0 {
+		return nil, fmt.Errorf("lossless: shuffle width %d does not divide %d", width, len(data))
+	}
+	n := len(data) / width
+	out := make([]byte, len(data))
+	for i := 0; i < n; i++ {
+		for b := 0; b < width; b++ {
+			out[b*n+i] = data[i*width+b]
+		}
+	}
+	return out, nil
+}
+
+// Unshuffle inverts Shuffle.
+func Unshuffle(data []byte, width int) ([]byte, error) {
+	if width <= 0 || len(data)%width != 0 {
+		return nil, fmt.Errorf("lossless: unshuffle width %d does not divide %d", width, len(data))
+	}
+	n := len(data) / width
+	out := make([]byte, len(data))
+	for i := 0; i < n; i++ {
+		for b := 0; b < width; b++ {
+			out[i*width+b] = data[b*n+i]
+		}
+	}
+	return out, nil
+}

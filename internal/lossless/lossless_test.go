@@ -1,0 +1,126 @@
+package lossless
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lossycorr/internal/xrand"
+)
+
+func TestCompressRoundtrip(t *testing.T) {
+	data := bytes.Repeat([]byte("scientific data "), 100)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data) {
+		t.Fatalf("repetitive data did not compress: %d >= %d", len(c), len(data))
+	}
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	c, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Fatalf("empty roundtrip gave %d bytes", len(d))
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0x42, 0x42, 0x42}); err == nil {
+		t.Fatal("garbage should error")
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		c, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		d, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleRoundtrip(t *testing.T) {
+	rng := xrand.New(4)
+	data := make([]byte, 8*100)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	s, err := Shuffle(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Unshuffle(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(u, data) {
+		t.Fatal("shuffle roundtrip mismatch")
+	}
+}
+
+func TestShuffleLayout(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6} // two 3-byte records
+	s, err := Shuffle(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 4, 2, 5, 3, 6}
+	if !bytes.Equal(s, want) {
+		t.Fatalf("shuffle %v want %v", s, want)
+	}
+}
+
+func TestShuffleErrors(t *testing.T) {
+	if _, err := Shuffle([]byte{1, 2, 3}, 2); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+	if _, err := Shuffle([]byte{1, 2}, 0); err == nil {
+		t.Fatal("expected width error")
+	}
+	if _, err := Unshuffle([]byte{1, 2, 3}, 2); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestQuickShuffle(t *testing.T) {
+	f := func(data []byte) bool {
+		width := 8
+		data = data[:len(data)/width*width]
+		s, err := Shuffle(data, width)
+		if err != nil {
+			return false
+		}
+		u, err := Unshuffle(s, width)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(u, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

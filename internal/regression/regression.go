@@ -1,0 +1,130 @@
+// Package regression implements the paper's functional model between
+// correlation statistics and compression ratio: the logarithmic
+// least-squares fit CR = α + β·log(x) + ε, plus goodness-of-fit
+// diagnostics (R², residuals).
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/linalg"
+)
+
+// LogFit is a fitted CR = Alpha + Beta·ln(x) model.
+type LogFit struct {
+	Alpha, Beta float64
+	R2          float64
+	N           int
+}
+
+// Predict evaluates the fit at x (x must be positive).
+func (f LogFit) Predict(x float64) float64 {
+	return f.Alpha + f.Beta*math.Log(x)
+}
+
+// String renders the fit the way the paper's figure legends do.
+func (f LogFit) String() string {
+	return fmt.Sprintf("α=%.3f β=%.3f (R²=%.3f, n=%d)", f.Alpha, f.Beta, f.R2, f.N)
+}
+
+// FitLog fits y = α + β·ln(x) by ordinary least squares. Points with
+// non-positive or non-finite x, or non-finite y, are skipped (the paper
+// drops such datapoints too). At least two usable points are required.
+func FitLog(x, y []float64) (LogFit, error) {
+	if len(x) != len(y) {
+		return LogFit{}, fmt.Errorf("regression: length mismatch %d vs %d", len(x), len(y))
+	}
+	var lx, ly []float64
+	for i := range x {
+		if x[i] <= 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			continue
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			continue
+		}
+		lx = append(lx, math.Log(x[i]))
+		ly = append(ly, y[i])
+	}
+	if len(lx) < 2 {
+		return LogFit{}, fmt.Errorf("regression: only %d usable points", len(lx))
+	}
+	coeffs, err := linalg.PolyFit(lx, ly, 1)
+	if err != nil {
+		return LogFit{}, err
+	}
+	fit := LogFit{Alpha: coeffs[0], Beta: coeffs[1], N: len(lx)}
+	fit.R2 = rSquared(lx, ly, func(v float64) float64 { return fit.Alpha + fit.Beta*v })
+	return fit, nil
+}
+
+// LinFit is a fitted y = Alpha + Beta·x model, used for statistics that
+// can be zero (e.g. std of SVD truncation levels on uniform fields).
+type LinFit struct {
+	Alpha, Beta float64
+	R2          float64
+	N           int
+}
+
+// Predict evaluates the linear fit at x.
+func (f LinFit) Predict(x float64) float64 { return f.Alpha + f.Beta*x }
+
+// FitLinear fits y = α + β·x by ordinary least squares, skipping
+// non-finite points.
+func FitLinear(x, y []float64) (LinFit, error) {
+	if len(x) != len(y) {
+		return LinFit{}, fmt.Errorf("regression: length mismatch %d vs %d", len(x), len(y))
+	}
+	var fx, fy []float64
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			continue
+		}
+		fx = append(fx, x[i])
+		fy = append(fy, y[i])
+	}
+	if len(fx) < 2 {
+		return LinFit{}, fmt.Errorf("regression: only %d usable points", len(fx))
+	}
+	coeffs, err := linalg.PolyFit(fx, fy, 1)
+	if err != nil {
+		return LinFit{}, err
+	}
+	fit := LinFit{Alpha: coeffs[0], Beta: coeffs[1], N: len(fx)}
+	fit.R2 = rSquared(fx, fy, fit.Predict)
+	return fit, nil
+}
+
+func rSquared(x, y []float64, predict func(float64) float64) float64 {
+	mean := linalg.Mean(y)
+	var ssRes, ssTot float64
+	for i := range x {
+		d := y[i] - predict(x[i])
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Residuals returns y[i] − fit(x[i]) for a log fit, skipping unusable
+// points (same filter as FitLog), for dispersion diagnostics.
+func Residuals(f LogFit, x, y []float64) []float64 {
+	var out []float64
+	for i := range x {
+		if x[i] <= 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			continue
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			continue
+		}
+		out = append(out, y[i]-f.Predict(x[i]))
+	}
+	return out
+}

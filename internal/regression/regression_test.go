@@ -1,0 +1,136 @@
+package regression
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lossycorr/internal/xrand"
+)
+
+func TestFitLogExactRecovery(t *testing.T) {
+	alpha, beta := 3.5, 2.0
+	var xs, ys []float64
+	for x := 1.0; x <= 100; x *= 1.5 {
+		xs = append(xs, x)
+		ys = append(ys, alpha+beta*math.Log(x))
+	}
+	fit, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 1e-9 || math.Abs(fit.Beta-beta) > 1e-9 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R² %v want 1", fit.R2)
+	}
+	if got := fit.Predict(math.E); math.Abs(got-(alpha+beta)) > 1e-9 {
+		t.Fatalf("Predict(e)=%v", got)
+	}
+}
+
+func TestFitLogNoisy(t *testing.T) {
+	rng := xrand.New(10)
+	alpha, beta := -1.0, 4.0
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := 1 + 99*rng.Float64()
+		xs = append(xs, x)
+		ys = append(ys, alpha+beta*math.Log(x)+0.1*rng.NormFloat64())
+	}
+	fit, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.1 || math.Abs(fit.Beta-beta) > 0.05 {
+		t.Fatalf("noisy fit %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R² %v", fit.R2)
+	}
+}
+
+func TestFitLogFiltersBadPoints(t *testing.T) {
+	xs := []float64{-1, 0, math.NaN(), 1, math.E}
+	ys := []float64{99, 99, 99, 2, 3}
+	fit, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 2 {
+		t.Fatalf("N=%d want 2", fit.N)
+	}
+	if math.Abs(fit.Alpha-2) > 1e-9 || math.Abs(fit.Beta-1) > 1e-9 {
+		t.Fatalf("fit %+v", fit)
+	}
+}
+
+func TestFitLogErrors(t *testing.T) {
+	if _, err := FitLog([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := FitLog([]float64{-1, -2, 0}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+}
+
+func TestLogFitString(t *testing.T) {
+	f := LogFit{Alpha: 1.5, Beta: -0.25, R2: 0.875, N: 10}
+	s := f.String()
+	for _, want := range []string{"α=1.500", "β=-0.250", "R²=0.875", "n=10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // 5 + 2x
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-5) > 1e-10 || math.Abs(fit.Beta-2) > 1e-10 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R²=%v", fit.R2)
+	}
+	if fit.Predict(10) != 25 {
+		t.Fatalf("Predict(10)=%v", fit.Predict(10))
+	}
+}
+
+func TestFitLinearFiltersNaN(t *testing.T) {
+	fit, err := FitLinear([]float64{math.NaN(), 0, 1}, []float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 2 {
+		t.Fatalf("N=%d", fit.N)
+	}
+}
+
+func TestRSquaredDegenerate(t *testing.T) {
+	// constant y: perfect fit when prediction matches
+	fit, err := FitLinear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 != 1 {
+		t.Fatalf("constant-y R²=%v want 1", fit.R2)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	fit := LogFit{Alpha: 0, Beta: 1}
+	res := Residuals(fit, []float64{math.E, math.E * math.E, -1}, []float64{1.5, 2, 99})
+	if len(res) != 2 {
+		t.Fatalf("residual count %d", len(res))
+	}
+	if math.Abs(res[0]-0.5) > 1e-9 || math.Abs(res[1]-0) > 1e-9 {
+		t.Fatalf("residuals %v", res)
+	}
+}

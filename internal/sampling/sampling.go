@@ -1,0 +1,163 @@
+// Package sampling implements the paper's future-work direction for
+// making its correlation statistics cheap enough for online use: "We
+// plan to leverage a sampling approach similar to prior work. We are
+// hopeful that increasing levels of sampling by block can provide an
+// increasingly accurate proxy for our metric." (Section VI.)
+//
+// Each estimator evaluates the windowed statistic on a random fraction
+// of the H×H windows instead of all of them; SweepFractions quantifies
+// the accuracy-versus-cost trade-off so users can pick an operating
+// point.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/svdstat"
+	"lossycorr/internal/variogram"
+	"lossycorr/internal/xrand"
+)
+
+// Options configures sampled estimation.
+type Options struct {
+	Fraction float64 // fraction of windows evaluated; 0 means 0.25
+	Seed     uint64
+}
+
+func (o Options) fraction() float64 {
+	f := o.Fraction
+	if f <= 0 {
+		f = 0.25
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// sampleWindows picks ceil(frac·total) windows uniformly at random.
+func sampleWindows(g *grid.Grid, h int, frac float64, seed uint64) []*grid.Grid {
+	type origin struct{ r0, c0 int }
+	var all []origin
+	g.Tiles(h, func(r0, c0 int, w *grid.Grid) {
+		all = append(all, origin{r0, c0})
+	})
+	rng := xrand.New(seed ^ 0x5a3b1e5a3b1e)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	take := int(math.Ceil(frac * float64(len(all))))
+	out := make([]*grid.Grid, 0, take)
+	for _, o := range all[:take] {
+		out = append(out, g.Window(o.r0, o.c0, h, h))
+	}
+	return out
+}
+
+// LocalRangeStd estimates the std of local variogram ranges from a
+// sampled subset of windows.
+func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
+	if h < 4 {
+		return 0, fmt.Errorf("sampling: window %d too small", h)
+	}
+	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
+	var ranges []float64
+	for _, w := range windows {
+		if w.Rows < 4 || w.Cols < 4 || w.Summary().Variance == 0 {
+			continue
+		}
+		vOpts := variogram.Options{Exact: true}
+		e, err := variogram.Compute(w, vOpts)
+		if err != nil {
+			return 0, err
+		}
+		m, err := variogram.Fit(e)
+		if err != nil {
+			return 0, err
+		}
+		ranges = append(ranges, m.Range)
+	}
+	if len(ranges) == 0 {
+		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
+	}
+	return linalg.Std(ranges), nil
+}
+
+// LocalSVDStd estimates the std of local SVD truncation levels from a
+// sampled subset of windows.
+func LocalSVDStd(g *grid.Grid, h int, frac float64, opts Options) (float64, error) {
+	if h < 2 {
+		return 0, fmt.Errorf("sampling: window %d too small", h)
+	}
+	if frac <= 0 || frac > 1 {
+		frac = svdstat.DefaultVarianceFraction
+	}
+	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
+	var levels []float64
+	for _, w := range windows {
+		if w.Rows < 2 || w.Cols < 2 {
+			continue
+		}
+		k, err := svdstat.TruncationLevel(w, frac)
+		if err != nil {
+			return 0, err
+		}
+		levels = append(levels, float64(k))
+	}
+	if len(levels) == 0 {
+		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
+	}
+	return linalg.Std(levels), nil
+}
+
+// SweepPoint is one accuracy measurement of the sampled estimator.
+type SweepPoint struct {
+	Fraction  float64
+	Estimate  float64
+	Reference float64 // full (fraction=1) value
+	RelError  float64 // |Estimate−Reference| / max(|Reference|, ε)
+}
+
+// SweepFractions evaluates a sampled statistic at increasing sampling
+// fractions against its full evaluation — the "increasing levels of
+// sampling by block" experiment of the paper's future work. stat is
+// either "range" (local variogram range std) or "svd".
+func SweepFractions(g *grid.Grid, h int, stat string, fractions []float64, seed uint64) ([]SweepPoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.1, 0.25, 0.5, 0.75, 1}
+	}
+	eval := func(frac float64) (float64, error) {
+		opts := Options{Fraction: frac, Seed: seed}
+		switch stat {
+		case "range":
+			return LocalRangeStd(g, h, opts)
+		case "svd":
+			return LocalSVDStd(g, h, svdstat.DefaultVarianceFraction, opts)
+		default:
+			return 0, fmt.Errorf("sampling: unknown statistic %q (want range|svd)", stat)
+		}
+	}
+	ref, err := eval(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(fractions))
+	for _, f := range fractions {
+		est, err := eval(f)
+		if err != nil {
+			return nil, err
+		}
+		den := math.Abs(ref)
+		if den < 1e-12 {
+			den = 1e-12
+		}
+		out = append(out, SweepPoint{
+			Fraction:  f,
+			Estimate:  est,
+			Reference: ref,
+			RelError:  math.Abs(est-ref) / den,
+		})
+	}
+	return out, nil
+}

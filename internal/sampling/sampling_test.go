@@ -1,0 +1,141 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/svdstat"
+	"lossycorr/internal/variogram"
+	"lossycorr/internal/xrand"
+)
+
+func heterogeneousField(t *testing.T) *grid.Grid {
+	t.Helper()
+	smooth, err := gaussian.Generate(gaussian.Params{Rows: 128, Cols: 128, Range: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	mixed := smooth.Clone()
+	for r := 0; r < 128; r++ {
+		for c := 64; c < 128; c++ {
+			mixed.Set(r, c, rng.NormFloat64())
+		}
+	}
+	return mixed
+}
+
+func TestFullFractionMatchesReference(t *testing.T) {
+	f := heterogeneousField(t)
+	full, err := variogram.LocalRangeStd(f, 32, variogram.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := LocalRangeStd(f, 32, Options{Fraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-sampled) > 1e-9 {
+		t.Fatalf("fraction-1 sampled %v != full %v", sampled, full)
+	}
+
+	fullSVD, err := svdstat.LocalStd(f, 32, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampledSVD, err := LocalSVDStd(f, 32, 0.99, Options{Fraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fullSVD-sampledSVD) > 1e-9 {
+		t.Fatalf("fraction-1 svd %v != full %v", sampledSVD, fullSVD)
+	}
+}
+
+func TestHalfFractionApproximates(t *testing.T) {
+	f := heterogeneousField(t)
+	full, err := LocalRangeStd(f, 32, Options{Fraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := LocalRangeStd(f, 32, Options{Fraction: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == 0 {
+		t.Fatal("degenerate reference")
+	}
+	if math.Abs(est-full)/full > 0.8 {
+		t.Fatalf("half-fraction estimate %v too far from %v", est, full)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := heterogeneousField(t)
+	if _, err := LocalRangeStd(f, 2, Options{}); err == nil {
+		t.Fatal("tiny window must error")
+	}
+	if _, err := LocalSVDStd(f, 1, 0.99, Options{}); err == nil {
+		t.Fatal("tiny window must error")
+	}
+	if _, err := LocalRangeStd(grid.New(64, 64), 32, Options{}); err == nil {
+		t.Fatal("constant field must error (no usable windows)")
+	}
+}
+
+func TestSweepFractions(t *testing.T) {
+	f := heterogeneousField(t)
+	points, err := SweepFractions(f, 32, "range", []float64{0.25, 0.5, 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %v", points)
+	}
+	last := points[len(points)-1]
+	if last.Fraction != 1 || last.RelError > 1e-9 {
+		t.Fatalf("fraction-1 point not exact: %+v", last)
+	}
+	for _, p := range points {
+		if p.Reference != last.Reference {
+			t.Fatalf("reference drifted: %+v", points)
+		}
+		if p.RelError < 0 {
+			t.Fatalf("negative error: %+v", p)
+		}
+	}
+	if _, err := SweepFractions(f, 32, "nope", nil, 1); err == nil {
+		t.Fatal("unknown stat must error")
+	}
+}
+
+func TestSweepFractionsSVD(t *testing.T) {
+	f := heterogeneousField(t)
+	points, err := SweepFractions(f, 32, "svd", nil, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 { // default fractions
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[len(points)-1].RelError > 1e-9 {
+		t.Fatalf("full fraction inexact: %+v", points[len(points)-1])
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	f := heterogeneousField(t)
+	a, err := LocalRangeStd(f, 32, Options{Fraction: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalRangeStd(f, 32, Options{Fraction: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed differs: %v vs %v", a, b)
+	}
+}

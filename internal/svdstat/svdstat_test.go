@@ -1,0 +1,156 @@
+package svdstat
+
+import (
+	"testing"
+
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func TestTruncationLevelRankOne(t *testing.T) {
+	// outer product of zero-mean factors stays rank 1 after centering
+	w := grid.FromFunc(8, 8, func(r, c int) float64 {
+		return (float64(r) - 3.5) * (float64(c) - 3.5)
+	})
+	k, err := TruncationLevel(w, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("rank-1 window level %d want 1", k)
+	}
+}
+
+func TestTruncationLevelIdentityLike(t *testing.T) {
+	// centered identity I − J/n has n−1 equal singular values, so 99%
+	// of the variance needs ceil(0.99·(n−1)) = 9 modes for n = 10
+	n := 10
+	w := grid.FromFunc(n, n, func(r, c int) float64 {
+		if r == c {
+			return 1
+		}
+		return 0
+	})
+	k, err := TruncationLevel(w, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 9 {
+		t.Fatalf("identity level %d want 9", k)
+	}
+}
+
+func TestTruncationLevelConstantZero(t *testing.T) {
+	k, err := TruncationLevel(grid.New(6, 6), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("zero window level %d want 0", k)
+	}
+}
+
+func TestTruncationLevelFracValidation(t *testing.T) {
+	if _, err := TruncationLevel(grid.New(4, 4), 0); err == nil {
+		t.Fatal("expected frac error")
+	}
+	if _, err := TruncationLevel(grid.New(4, 4), 1.2); err == nil {
+		t.Fatal("expected frac error")
+	}
+}
+
+func TestTruncationLevelMonotoneInFraction(t *testing.T) {
+	rng := xrand.New(6)
+	w := grid.FromFunc(12, 12, func(r, c int) float64 { return rng.NormFloat64() })
+	k50, err := TruncationLevel(w, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k99, err := TruncationLevel(w, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k50 > k99 {
+		t.Fatalf("levels not monotone: k(0.5)=%d > k(0.99)=%d", k50, k99)
+	}
+	if k99 < 1 {
+		t.Fatalf("noise window level %d", k99)
+	}
+}
+
+func TestSmoothNeedsFewerModesThanNoise(t *testing.T) {
+	smooth, err := gaussian.Generate(gaussian.Params{Rows: 32, Cols: 32, Range: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	noise := grid.FromFunc(32, 32, func(r, c int) float64 { return rng.NormFloat64() })
+	ks, err := TruncationLevel(smooth, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := TruncationLevel(noise, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks >= kn {
+		t.Fatalf("smooth level %d not below noise level %d", ks, kn)
+	}
+}
+
+func TestLocalLevelsCount(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := LocalLevels(f, 32, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 {
+		t.Fatalf("got %d windows want 4", len(levels))
+	}
+	for _, k := range levels {
+		if k < 1 || k > 32 {
+			t.Fatalf("level %v out of range", k)
+		}
+	}
+}
+
+func TestLocalLevelsWindowValidation(t *testing.T) {
+	if _, err := LocalLevels(grid.New(8, 8), 1, 0.99); err == nil {
+		t.Fatal("expected window error")
+	}
+}
+
+func TestLocalStdHomogeneousVsHeterogeneous(t *testing.T) {
+	smooth, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	mixed := smooth.Clone()
+	for r := 0; r < 64; r++ {
+		for c := 32; c < 64; c++ {
+			mixed.Set(r, c, rng.NormFloat64())
+		}
+	}
+	sSmooth, err := LocalStd(smooth, 16, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMixed, err := LocalStd(mixed, 16, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMixed <= sSmooth {
+		t.Fatalf("heterogeneous std %v not above homogeneous %v", sMixed, sSmooth)
+	}
+}
+
+func TestDefaultVarianceFraction(t *testing.T) {
+	if DefaultVarianceFraction != 0.99 {
+		t.Fatalf("paper threshold changed: %v", DefaultVarianceFraction)
+	}
+}

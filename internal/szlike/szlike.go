@@ -1,0 +1,367 @@
+// Package szlike implements an SZ-style error-bounded lossy compressor
+// (Liang et al., IEEE Big Data 2018) in pure Go. Like SZ 2.x for 2D
+// data it works block by block (16×16), choosing per block between a
+// Lorenzo predictor (reconstructed-neighbor extrapolation) and a
+// regression predictor (least-squares plane through the block), then
+// linearly quantizes prediction residuals into 2·eb bins with an escape
+// path that stores unpredictable values exactly. The symbol stream is
+// entropy coded with canonical Huffman and the whole payload passes
+// through DEFLATE, standing in for SZ's Zstd stage.
+//
+// Because the predictor only sees local context, the compressor
+// exploits local correlation structure — the property the paper links
+// to the variogram range.
+package szlike
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/huffman"
+	"lossycorr/internal/lossless"
+	"lossycorr/internal/quant"
+)
+
+// BlockSize is the 2D prediction block edge, matching SZ's 16×16.
+const BlockSize = 16
+
+const (
+	modeLorenzo byte = iota
+	modeRegression
+)
+
+var magic = [4]byte{'S', 'Z', 'L', '1'}
+
+// PredictorMode restricts which block predictor Compress may choose —
+// an ablation knob for quantifying what each of SZ's two predictors
+// contributes (DESIGN.md's ablation index).
+type PredictorMode int
+
+const (
+	// PredictorAuto picks the better predictor per block (SZ's behavior).
+	PredictorAuto PredictorMode = iota
+	// PredictorLorenzoOnly forces the Lorenzo predictor everywhere.
+	PredictorLorenzoOnly
+	// PredictorRegressionOnly forces the regression predictor everywhere.
+	PredictorRegressionOnly
+)
+
+// Compressor is the SZ-like codec. The zero value (auto predictor
+// selection) is ready to use.
+type Compressor struct {
+	// Mode restricts predictor choice; zero means auto.
+	Mode PredictorMode
+}
+
+var _ compress.Compressor = Compressor{}
+
+// Name implements compress.Compressor.
+func (c Compressor) Name() string {
+	switch c.Mode {
+	case PredictorLorenzoOnly:
+		return "sz-like-lorenzo"
+	case PredictorRegressionOnly:
+		return "sz-like-regression"
+	default:
+		return "sz-like"
+	}
+}
+
+// regressionCoeffs fits v ≈ b0 + b1·r + b2·c over the block by
+// closed-form least squares on the (separable, integer) design. Returns
+// coefficients rounded through float32, the representation stored in
+// the stream, so compressor and decompressor predict identically.
+func regressionCoeffs(g *grid.Grid, r0, c0, rows, cols int) (b0, b1, b2 float64) {
+	n := float64(rows * cols)
+	var sr, sc, sv, srv, scv float64
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := g.At(r0+r, c0+c)
+			sr += float64(r)
+			sc += float64(c)
+			sv += v
+			srv += float64(r) * v
+			scv += float64(c) * v
+		}
+	}
+	mr, mc, mv := sr/n, sc/n, sv/n
+	// For a full integer lattice the design is orthogonal after
+	// centering: Σ(r−mr)(c−mc) = 0, so the two slopes decouple.
+	var srr, scc, srvC, scvC float64
+	for r := 0; r < rows; r++ {
+		dr := float64(r) - mr
+		srr += dr * dr * float64(cols)
+	}
+	for c := 0; c < cols; c++ {
+		dc := float64(c) - mc
+		scc += dc * dc * float64(rows)
+	}
+	srvC = srv - mr*sv
+	scvC = scv - mc*sv
+	if srr > 0 {
+		b1 = srvC / srr
+	}
+	if scc > 0 {
+		b2 = scvC / scc
+	}
+	b0 = mv - b1*mr - b2*mc
+	b0 = float64(float32(b0))
+	b1 = float64(float32(b1))
+	b2 = float64(float32(b2))
+	return
+}
+
+// lorenzoPredict extrapolates from already-reconstructed neighbors
+// (out-of-grid neighbors read as 0, SZ's convention for borders).
+func lorenzoPredict(recon *grid.Grid, r, c int) float64 {
+	var a, b, d float64
+	if r > 0 {
+		a = recon.At(r-1, c)
+	}
+	if c > 0 {
+		b = recon.At(r, c-1)
+	}
+	if r > 0 && c > 0 {
+		d = recon.At(r-1, c-1)
+	}
+	return a + b - d
+}
+
+// estimateBlockErrors scores both predictors on original data (SZ
+// samples; we evaluate exactly) so the cheaper mode wins per block.
+func estimateBlockErrors(g *grid.Grid, r0, c0, rows, cols int, b0, b1, b2 float64) (lorenzo, regression float64) {
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			gr, gc := r0+r, c0+c
+			v := g.At(gr, gc)
+			var a, b, d float64
+			if gr > 0 {
+				a = g.At(gr-1, gc)
+			}
+			if gc > 0 {
+				b = g.At(gr, gc-1)
+			}
+			if gr > 0 && gc > 0 {
+				d = g.At(gr-1, gc-1)
+			}
+			le := v - (a + b - d)
+			lorenzo += le * le
+			re := v - (b0 + b1*float64(r) + b2*float64(c))
+			regression += re * re
+		}
+	}
+	return
+}
+
+// Compress implements compress.Compressor.
+func (cc Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
+	if absErr <= 0 {
+		return nil, fmt.Errorf("szlike: non-positive error bound %v", absErr)
+	}
+	if g.Len() == 0 {
+		return nil, errors.New("szlike: empty field")
+	}
+	q := quant.New(absErr)
+	recon := grid.New(g.Rows, g.Cols)
+
+	nbr := (g.Rows + BlockSize - 1) / BlockSize
+	nbc := (g.Cols + BlockSize - 1) / BlockSize
+	modes := make([]byte, 0, nbr*nbc)
+	var coeffs []float32 // 3 per regression block
+	symbols := make([]uint16, 0, g.Len())
+	var exact []float64
+
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*BlockSize, bc*BlockSize
+			rows, cols := BlockSize, BlockSize
+			if r0+rows > g.Rows {
+				rows = g.Rows - r0
+			}
+			if c0+cols > g.Cols {
+				cols = g.Cols - c0
+			}
+			b0, b1, b2 := regressionCoeffs(g, r0, c0, rows, cols)
+			var mode byte
+			switch cc.Mode {
+			case PredictorLorenzoOnly:
+				mode = modeLorenzo
+			case PredictorRegressionOnly:
+				mode = modeRegression
+			default:
+				le, re := estimateBlockErrors(g, r0, c0, rows, cols, b0, b1, b2)
+				mode = modeLorenzo
+				if re < le {
+					mode = modeRegression
+				}
+			}
+			modes = append(modes, mode)
+			if mode == modeRegression {
+				coeffs = append(coeffs, float32(b0), float32(b1), float32(b2))
+			}
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					gr, gc := r0+r, c0+c
+					v := g.At(gr, gc)
+					var pred float64
+					if mode == modeLorenzo {
+						pred = lorenzoPredict(recon, gr, gc)
+					} else {
+						pred = b0 + b1*float64(r) + b2*float64(c)
+					}
+					sym, delta, ok := q.Encode(v - pred)
+					if !ok {
+						symbols = append(symbols, quant.Escape)
+						exact = append(exact, v)
+						recon.Set(gr, gc, v)
+						continue
+					}
+					symbols = append(symbols, sym)
+					recon.Set(gr, gc, pred+delta)
+				}
+			}
+		}
+	}
+
+	huff := huffman.Encode(symbols)
+
+	// assemble payload: header | modes | coeffs | exactCount | exact | huff
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(g.Rows))
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(g.Cols))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, modes...)
+	for _, cf := range coeffs {
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(cf))
+		buf = append(buf, tmp[:4]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(exact)))
+	buf = append(buf, tmp[:4]...)
+	for _, v := range exact {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	buf = append(buf, huff...)
+	return lossless.Compress(buf)
+}
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("szlike: corrupt stream")
+
+// Decompress implements compress.Compressor.
+func (Compressor) Decompress(data []byte) (*grid.Grid, error) {
+	raw, err := lossless.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(raw) < 20 || raw[0] != magic[0] || raw[1] != magic[1] || raw[2] != magic[2] || raw[3] != magic[3] {
+		return nil, ErrCorrupt
+	}
+	rows := int(binary.LittleEndian.Uint32(raw[4:]))
+	cols := int(binary.LittleEndian.Uint32(raw[8:]))
+	absErr := math.Float64frombits(binary.LittleEndian.Uint64(raw[12:]))
+	if rows <= 0 || cols <= 0 || absErr <= 0 || rows*cols > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	pos := 20
+	nbr := (rows + BlockSize - 1) / BlockSize
+	nbc := (cols + BlockSize - 1) / BlockSize
+	nBlocks := nbr * nbc
+	if len(raw) < pos+nBlocks {
+		return nil, ErrCorrupt
+	}
+	modes := raw[pos : pos+nBlocks]
+	pos += nBlocks
+	nReg := 0
+	for _, m := range modes {
+		switch m {
+		case modeRegression:
+			nReg++
+		case modeLorenzo:
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if len(raw) < pos+12*nReg+4 {
+		return nil, ErrCorrupt
+	}
+	coeffs := make([]float64, 0, 3*nReg)
+	for i := 0; i < 3*nReg; i++ {
+		coeffs = append(coeffs, float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[pos:]))))
+		pos += 4
+	}
+	nExact := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if nExact < 0 || len(raw) < pos+8*nExact {
+		return nil, ErrCorrupt
+	}
+	exact := make([]float64, nExact)
+	for i := range exact {
+		exact[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+	}
+	symbols, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(symbols) != rows*cols {
+		return nil, ErrCorrupt
+	}
+
+	q := quant.New(absErr)
+	recon := grid.New(rows, cols)
+	si, ei, ci, bi := 0, 0, 0, 0
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*BlockSize, bc*BlockSize
+			brows, bcols := BlockSize, BlockSize
+			if r0+brows > rows {
+				brows = rows - r0
+			}
+			if c0+bcols > cols {
+				bcols = cols - c0
+			}
+			mode := modes[bi]
+			bi++
+			var b0, b1, b2 float64
+			if mode == modeRegression {
+				b0, b1, b2 = coeffs[ci], coeffs[ci+1], coeffs[ci+2]
+				ci += 3
+			}
+			for r := 0; r < brows; r++ {
+				for c := 0; c < bcols; c++ {
+					gr, gc := r0+r, c0+c
+					sym := symbols[si]
+					si++
+					if sym == quant.Escape {
+						if ei >= len(exact) {
+							return nil, ErrCorrupt
+						}
+						recon.Set(gr, gc, exact[ei])
+						ei++
+						continue
+					}
+					var pred float64
+					if mode == modeLorenzo {
+						pred = lorenzoPredict(recon, gr, gc)
+					} else {
+						pred = b0 + b1*float64(r) + b2*float64(c)
+					}
+					recon.Set(gr, gc, pred+q.Decode(sym))
+				}
+			}
+		}
+	}
+	if ei != len(exact) {
+		return nil, ErrCorrupt
+	}
+	return recon, nil
+}

@@ -1,0 +1,340 @@
+package szlike
+
+// 3D variant of the SZ-style codec, matching SZ 2.x's handling of 3D
+// data: 8×8×8 prediction blocks, a 3D Lorenzo predictor (7-point
+// inclusion–exclusion extrapolation from reconstructed neighbors) or a
+// per-block least-squares hyperplane, the shared linear quantizer, and
+// the same Huffman + DEFLATE back end. Miranda data is natively 3D, so
+// this is the codec the paper's future-work 3D analysis would measure.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/huffman"
+	"lossycorr/internal/lossless"
+	"lossycorr/internal/quant"
+)
+
+// BlockSize3D is the 3D prediction block edge (SZ uses 8×8×8).
+const BlockSize3D = 8
+
+var magic3D = [4]byte{'S', 'Z', 'L', '3'}
+
+// Compressor3D is the SZ-like codec for 3D volumes. The zero value is
+// ready to use.
+type Compressor3D struct{}
+
+// Name identifies the codec.
+func (Compressor3D) Name() string { return "sz-like-3d" }
+
+// lorenzo3D extrapolates from the seven already-reconstructed
+// neighbors (out-of-volume neighbors read as 0).
+func lorenzo3D(recon *grid.Volume, z, y, x int) float64 {
+	at := func(dz, dy, dx int) float64 {
+		zz, yy, xx := z-dz, y-dy, x-dx
+		if zz < 0 || yy < 0 || xx < 0 {
+			return 0
+		}
+		return recon.At(zz, yy, xx)
+	}
+	return at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
+		at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) +
+		at(1, 1, 1)
+}
+
+// hyperplaneCoeffs fits v ≈ b0 + b1·z + b2·y + b3·x over a block by
+// closed-form least squares (the integer lattice design is orthogonal
+// after centering). Coefficients are rounded through float32, the
+// stored representation.
+func hyperplaneCoeffs(v *grid.Volume, z0, y0, x0, nz, ny, nx int) (b0, b1, b2, b3 float64) {
+	n := float64(nz * ny * nx)
+	var sz, sy, sx, sv, szv, syv, sxv float64
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				val := v.At(z0+z, y0+y, x0+x)
+				sz += float64(z)
+				sy += float64(y)
+				sx += float64(x)
+				sv += val
+				szv += float64(z) * val
+				syv += float64(y) * val
+				sxv += float64(x) * val
+			}
+		}
+	}
+	mz, my, mx, mv := sz/n, sy/n, sx/n, sv/n
+	var szz, syy, sxx float64
+	for z := 0; z < nz; z++ {
+		d := float64(z) - mz
+		szz += d * d * float64(ny*nx)
+	}
+	for y := 0; y < ny; y++ {
+		d := float64(y) - my
+		syy += d * d * float64(nz*nx)
+	}
+	for x := 0; x < nx; x++ {
+		d := float64(x) - mx
+		sxx += d * d * float64(nz*ny)
+	}
+	if szz > 0 {
+		b1 = (szv - mz*sv) / szz
+	}
+	if syy > 0 {
+		b2 = (syv - my*sv) / syy
+	}
+	if sxx > 0 {
+		b3 = (sxv - mx*sv) / sxx
+	}
+	b0 = mv - b1*mz - b2*my - b3*mx
+	b0 = float64(float32(b0))
+	b1 = float64(float32(b1))
+	b2 = float64(float32(b2))
+	b3 = float64(float32(b3))
+	return
+}
+
+// estimateBlockErrors3D scores both predictors on original data.
+func estimateBlockErrors3D(v *grid.Volume, z0, y0, x0, nz, ny, nx int, b0, b1, b2, b3 float64) (lorenzo, regression float64) {
+	at := func(z, y, x int) float64 {
+		if z < 0 || y < 0 || x < 0 {
+			return 0
+		}
+		return v.At(z, y, x)
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				gz, gy, gx := z0+z, y0+y, x0+x
+				val := v.At(gz, gy, gx)
+				pred := at(gz, gy, gx-1) + at(gz, gy-1, gx) + at(gz-1, gy, gx) -
+					at(gz, gy-1, gx-1) - at(gz-1, gy, gx-1) - at(gz-1, gy-1, gx) +
+					at(gz-1, gy-1, gx-1)
+				le := val - pred
+				lorenzo += le * le
+				re := val - (b0 + b1*float64(z) + b2*float64(y) + b3*float64(x))
+				regression += re * re
+			}
+		}
+	}
+	return
+}
+
+// Compress encodes a volume under an absolute error bound.
+func (Compressor3D) Compress(v *grid.Volume, absErr float64) ([]byte, error) {
+	if absErr <= 0 {
+		return nil, fmt.Errorf("szlike: non-positive error bound %v", absErr)
+	}
+	if v.Nz*v.Ny*v.Nx == 0 {
+		return nil, errors.New("szlike: empty volume")
+	}
+	q := quant.New(absErr)
+	recon := grid.NewVolume(v.Nz, v.Ny, v.Nx)
+
+	nbz := (v.Nz + BlockSize3D - 1) / BlockSize3D
+	nby := (v.Ny + BlockSize3D - 1) / BlockSize3D
+	nbx := (v.Nx + BlockSize3D - 1) / BlockSize3D
+	modes := make([]byte, 0, nbz*nby*nbx)
+	var coeffs []float32
+	symbols := make([]uint16, 0, v.Nz*v.Ny*v.Nx)
+	var exact []float64
+
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				z0, y0, x0 := bz*BlockSize3D, by*BlockSize3D, bx*BlockSize3D
+				nz, ny, nx := BlockSize3D, BlockSize3D, BlockSize3D
+				if z0+nz > v.Nz {
+					nz = v.Nz - z0
+				}
+				if y0+ny > v.Ny {
+					ny = v.Ny - y0
+				}
+				if x0+nx > v.Nx {
+					nx = v.Nx - x0
+				}
+				b0, b1, b2, b3 := hyperplaneCoeffs(v, z0, y0, x0, nz, ny, nx)
+				le, re := estimateBlockErrors3D(v, z0, y0, x0, nz, ny, nx, b0, b1, b2, b3)
+				mode := modeLorenzo
+				if re < le {
+					mode = modeRegression
+				}
+				modes = append(modes, mode)
+				if mode == modeRegression {
+					coeffs = append(coeffs, float32(b0), float32(b1), float32(b2), float32(b3))
+				}
+				for z := 0; z < nz; z++ {
+					for y := 0; y < ny; y++ {
+						for x := 0; x < nx; x++ {
+							gz, gy, gx := z0+z, y0+y, x0+x
+							val := v.At(gz, gy, gx)
+							var pred float64
+							if mode == modeLorenzo {
+								pred = lorenzo3D(recon, gz, gy, gx)
+							} else {
+								pred = b0 + b1*float64(z) + b2*float64(y) + b3*float64(x)
+							}
+							sym, delta, ok := q.Encode(val - pred)
+							if !ok {
+								symbols = append(symbols, quant.Escape)
+								exact = append(exact, val)
+								recon.Set(gz, gy, gx, val)
+								continue
+							}
+							symbols = append(symbols, sym)
+							recon.Set(gz, gy, gx, pred+delta)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	huff := huffman.Encode(symbols)
+	var buf []byte
+	buf = append(buf, magic3D[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(v.Nz))
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(v.Ny))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(v.Nx))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, modes...)
+	for _, cf := range coeffs {
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(cf))
+		buf = append(buf, tmp[:4]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(exact)))
+	buf = append(buf, tmp[:4]...)
+	for _, val := range exact {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(val))
+		buf = append(buf, tmp[:]...)
+	}
+	buf = append(buf, huff...)
+	return lossless.Compress(buf)
+}
+
+// Decompress reconstructs a volume from Compress's output.
+func (Compressor3D) Decompress(data []byte) (*grid.Volume, error) {
+	raw, err := lossless.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(raw) < 24 || raw[0] != magic3D[0] || raw[1] != magic3D[1] || raw[2] != magic3D[2] || raw[3] != magic3D[3] {
+		return nil, ErrCorrupt
+	}
+	nzV := int(binary.LittleEndian.Uint32(raw[4:]))
+	nyV := int(binary.LittleEndian.Uint32(raw[8:]))
+	nxV := int(binary.LittleEndian.Uint32(raw[12:]))
+	absErr := math.Float64frombits(binary.LittleEndian.Uint64(raw[16:]))
+	if nzV <= 0 || nyV <= 0 || nxV <= 0 || absErr <= 0 || nzV*nyV*nxV > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	pos := 24
+	nbz := (nzV + BlockSize3D - 1) / BlockSize3D
+	nby := (nyV + BlockSize3D - 1) / BlockSize3D
+	nbx := (nxV + BlockSize3D - 1) / BlockSize3D
+	nBlocks := nbz * nby * nbx
+	if len(raw) < pos+nBlocks {
+		return nil, ErrCorrupt
+	}
+	modes := raw[pos : pos+nBlocks]
+	pos += nBlocks
+	nReg := 0
+	for _, m := range modes {
+		switch m {
+		case modeRegression:
+			nReg++
+		case modeLorenzo:
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if len(raw) < pos+16*nReg+4 {
+		return nil, ErrCorrupt
+	}
+	coeffs := make([]float64, 0, 4*nReg)
+	for i := 0; i < 4*nReg; i++ {
+		coeffs = append(coeffs, float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[pos:]))))
+		pos += 4
+	}
+	nExact := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if nExact < 0 || len(raw) < pos+8*nExact {
+		return nil, ErrCorrupt
+	}
+	exact := make([]float64, nExact)
+	for i := range exact {
+		exact[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+	}
+	symbols, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(symbols) != nzV*nyV*nxV {
+		return nil, ErrCorrupt
+	}
+
+	q := quant.New(absErr)
+	recon := grid.NewVolume(nzV, nyV, nxV)
+	si, ei, ci, bi := 0, 0, 0, 0
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				z0, y0, x0 := bz*BlockSize3D, by*BlockSize3D, bx*BlockSize3D
+				nz, ny, nx := BlockSize3D, BlockSize3D, BlockSize3D
+				if z0+nz > nzV {
+					nz = nzV - z0
+				}
+				if y0+ny > nyV {
+					ny = nyV - y0
+				}
+				if x0+nx > nxV {
+					nx = nxV - x0
+				}
+				mode := modes[bi]
+				bi++
+				var b0, b1, b2, b3 float64
+				if mode == modeRegression {
+					b0, b1, b2, b3 = coeffs[ci], coeffs[ci+1], coeffs[ci+2], coeffs[ci+3]
+					ci += 4
+				}
+				for z := 0; z < nz; z++ {
+					for y := 0; y < ny; y++ {
+						for x := 0; x < nx; x++ {
+							gz, gy, gx := z0+z, y0+y, x0+x
+							sym := symbols[si]
+							si++
+							if sym == quant.Escape {
+								if ei >= len(exact) {
+									return nil, ErrCorrupt
+								}
+								recon.Set(gz, gy, gx, exact[ei])
+								ei++
+								continue
+							}
+							var pred float64
+							if mode == modeLorenzo {
+								pred = lorenzo3D(recon, gz, gy, gx)
+							} else {
+								pred = b0 + b1*float64(z) + b2*float64(y) + b3*float64(x)
+							}
+							recon.Set(gz, gy, gx, pred+q.Decode(sym))
+						}
+					}
+				}
+			}
+		}
+	}
+	if ei != len(exact) {
+		return nil, ErrCorrupt
+	}
+	return recon, nil
+}

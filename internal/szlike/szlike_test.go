@@ -1,0 +1,244 @@
+package szlike
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func roundtrip(t *testing.T, g *grid.Grid, eb float64) *grid.Grid {
+	t.Helper()
+	c := Compressor{}
+	data, err := c.Compress(g, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rows != g.Rows || dec.Cols != g.Cols {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", g.Rows, g.Cols, dec.Rows, dec.Cols)
+	}
+	maxErr, err := g.MaxAbsDiff(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > eb*(1+1e-12) {
+		t.Fatalf("bound violated: maxErr %v > eb %v", maxErr, eb)
+	}
+	return dec
+}
+
+func TestName(t *testing.T) {
+	if (Compressor{}).Name() != "sz-like" {
+		t.Fatal("name changed")
+	}
+	if (Compressor{Mode: PredictorLorenzoOnly}).Name() != "sz-like-lorenzo" {
+		t.Fatal("lorenzo name changed")
+	}
+	if (Compressor{Mode: PredictorRegressionOnly}).Name() != "sz-like-regression" {
+		t.Fatal("regression name changed")
+	}
+}
+
+func TestPredictorModesRoundtrip(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 48, Cols: 48, Range: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[PredictorMode]int{}
+	for _, mode := range []PredictorMode{PredictorAuto, PredictorLorenzoOnly, PredictorRegressionOnly} {
+		c := Compressor{Mode: mode}
+		data, err := c.Compress(f, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr, err := f.MaxAbsDiff(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxErr > 1e-3*(1+1e-12) {
+			t.Fatalf("mode %v violated bound: %v", mode, maxErr)
+		}
+		sizes[mode] = len(data)
+	}
+	// auto must be at least as good as the best single predictor, up to
+	// the one-byte-per-block mode overhead
+	best := sizes[PredictorLorenzoOnly]
+	if sizes[PredictorRegressionOnly] < best {
+		best = sizes[PredictorRegressionOnly]
+	}
+	if sizes[PredictorAuto] > best+best/10 {
+		t.Fatalf("auto (%d B) much worse than best single predictor (%d B)", sizes[PredictorAuto], best)
+	}
+}
+
+func TestRoundtripSmooth(t *testing.T) {
+	g := grid.FromFunc(50, 70, func(r, c int) float64 {
+		return math.Sin(float64(r)/9) + math.Cos(float64(c)/11)
+	})
+	for _, eb := range []float64{1e-5, 1e-3, 1e-1} {
+		roundtrip(t, g, eb)
+	}
+}
+
+func TestRoundtripNoise(t *testing.T) {
+	rng := xrand.New(1)
+	g := grid.FromFunc(33, 47, func(r, c int) float64 { return rng.NormFloat64() * 100 })
+	roundtrip(t, g, 1e-4)
+}
+
+func TestRoundtripConstant(t *testing.T) {
+	g := grid.FromFunc(20, 20, func(r, c int) float64 { return 3.75 })
+	c := Compressor{}
+	data, err := c.Compress(g, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(g.SizeBytes()) / float64(len(data)); ratio < 20 {
+		t.Fatalf("constant field ratio only %.1f", ratio)
+	}
+	roundtrip(t, g, 1e-6)
+}
+
+func TestOddSizes(t *testing.T) {
+	rng := xrand.New(2)
+	for _, sz := range [][2]int{{1, 1}, {1, 40}, {40, 1}, {3, 5}, {16, 16}, {17, 33}, {15, 16}} {
+		g := grid.FromFunc(sz[0], sz[1], func(r, c int) float64 { return rng.NormFloat64() })
+		roundtrip(t, g, 1e-3)
+	}
+}
+
+func TestEmptyAndBadBound(t *testing.T) {
+	c := Compressor{}
+	if _, err := c.Compress(grid.New(0, 0), 1e-3); err == nil {
+		t.Fatal("empty field must error")
+	}
+	if _, err := c.Compress(grid.New(4, 4), 0); err == nil {
+		t.Fatal("eb=0 must error")
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	g, _ := grid.FromData(2, 4, []float64{1e300, -1e300, 1e-300, 0, 5, -5, 1e18, -1e-18})
+	roundtrip(t, g, 1e-6)
+}
+
+func TestSmoothBeatsNoise(t *testing.T) {
+	c := Compressor{}
+	smooth, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	noise := grid.FromFunc(64, 64, func(r, c int) float64 { return rng.NormFloat64() })
+	ds, err := c.Compress(smooth, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := c.Compress(noise, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) >= len(dn) {
+		t.Fatalf("smooth (%d B) not smaller than noise (%d B)", len(ds), len(dn))
+	}
+}
+
+func TestRatioIncreasesWithBound(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compressor{}
+	var sizes []int
+	for _, eb := range []float64{1e-6, 1e-4, 1e-2} {
+		d, err := c.Compress(f, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(d))
+	}
+	if !(sizes[0] > sizes[1] && sizes[1] > sizes[2]) {
+		t.Fatalf("sizes not decreasing with bound: %v", sizes)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	c := Compressor{}
+	if _, err := c.Decompress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage must error")
+	}
+	data, err := c.Compress(grid.FromFunc(8, 8, func(r, cc int) float64 { return float64(r + cc) }), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestQuickBoundProperty(t *testing.T) {
+	c := Compressor{}
+	f := func(seed uint64, ebExp uint8, rough bool) bool {
+		eb := math.Pow(10, -1-float64(ebExp%6)) // 1e-1 .. 1e-6
+		rng := xrand.New(seed)
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		var g *grid.Grid
+		if rough {
+			g = grid.FromFunc(rows, cols, func(r, cc int) float64 { return rng.NormFloat64() * 10 })
+		} else {
+			fr := 1 + rng.Float64()*10
+			g = grid.FromFunc(rows, cols, func(r, cc int) float64 {
+				return math.Sin(float64(r)/fr) * math.Cos(float64(cc)/fr)
+			})
+		}
+		data, err := c.Compress(g, eb)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decompress(data)
+		if err != nil {
+			return false
+		}
+		maxErr, err := g.MaxAbsDiff(dec)
+		return err == nil && maxErr <= eb*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressionCoeffsFitPlane(t *testing.T) {
+	g := grid.FromFunc(16, 16, func(r, c int) float64 {
+		return 2 + 0.5*float64(r) - 0.25*float64(c)
+	})
+	b0, b1, b2 := regressionCoeffs(g, 0, 0, 16, 16)
+	if math.Abs(b0-2) > 1e-5 || math.Abs(b1-0.5) > 1e-6 || math.Abs(b2+0.25) > 1e-6 {
+		t.Fatalf("plane fit %v %v %v", b0, b1, b2)
+	}
+}
+
+func TestLorenzoPredictExactOnPlane(t *testing.T) {
+	// Lorenzo reproduces any plane exactly away from borders
+	g := grid.FromFunc(8, 8, func(r, c int) float64 {
+		return 1 + 3*float64(r) + 7*float64(c)
+	})
+	for r := 1; r < 8; r++ {
+		for c := 1; c < 8; c++ {
+			if p := lorenzoPredict(g, r, c); math.Abs(p-g.At(r, c)) > 1e-12 {
+				t.Fatalf("lorenzo at (%d,%d): %v want %v", r, c, p, g.At(r, c))
+			}
+		}
+	}
+}

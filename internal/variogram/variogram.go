@@ -1,0 +1,294 @@
+// Package variogram estimates empirical semi-variograms of 2D fields
+// and fits the squared-exponential parametric model the paper uses to
+// extract the correlation range — globally (whole field) and locally
+// (tiled windows, whose range standard deviation is the heterogeneity
+// statistic of Section V-B).
+//
+// The empirical semi-variogram of a field z over grid points x_i is
+//
+//	γ(h) = 1/(2N(h)) · Σ_{|x_i−x_j|≈h} (z(x_i) − z(x_j))²
+//
+// computed here with Euclidean inter-point distances binned to unit
+// lags. Two estimators are provided: an exact offset scan (every pair
+// within the cutoff; cost O(cutoff²·n)) for small fields/windows, and a
+// pair-sampling Monte Carlo estimator for large fields, the same
+// trade-off practical geostatistics packages (gstat) make internally.
+package variogram
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/xrand"
+)
+
+// Empirical holds a binned empirical semi-variogram.
+type Empirical struct {
+	H     []float64 // bin centers (lag distance)
+	Gamma []float64 // semi-variance per bin
+	N     []int64   // pair count per bin
+}
+
+// Options controls estimation.
+type Options struct {
+	// MaxLag is the distance cutoff. 0 means min(rows, cols)/2,
+	// the usual geostatistical rule of thumb.
+	MaxLag int
+	// MaxPairs caps the number of sampled pairs for the Monte Carlo
+	// estimator. 0 means 400_000.
+	MaxPairs int
+	// Exact forces the exhaustive offset scan regardless of size.
+	Exact bool
+	// Seed feeds the pair sampler (ignored for exact scans).
+	Seed uint64
+}
+
+func (o *Options) withDefaults(g *grid.Grid) Options {
+	out := *o
+	if out.MaxLag <= 0 {
+		m := g.Rows
+		if g.Cols < m {
+			m = g.Cols
+		}
+		out.MaxLag = m / 2
+		if out.MaxLag < 1 {
+			out.MaxLag = 1
+		}
+	}
+	if out.MaxPairs <= 0 {
+		out.MaxPairs = 400_000
+	}
+	return out
+}
+
+// exactThreshold is the element count below which the exhaustive scan
+// is used by default (cost grows as cutoff²·n).
+const exactThreshold = 64 * 64
+
+// Compute estimates the empirical semi-variogram of g.
+func Compute(g *grid.Grid, opts Options) (*Empirical, error) {
+	if g.Len() < 2 {
+		return nil, fmt.Errorf("variogram: field too small (%dx%d)", g.Rows, g.Cols)
+	}
+	o := opts.withDefaults(g)
+	if o.Exact || g.Len() <= exactThreshold {
+		return exactScan(g, o), nil
+	}
+	return sampledScan(g, o), nil
+}
+
+// exactScan accumulates every pair with offset magnitude <= MaxLag.
+// Offsets are restricted to a half-plane so each unordered pair counts
+// once.
+func exactScan(g *grid.Grid, o Options) *Empirical {
+	nb := o.MaxLag
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	maxSq := float64(o.MaxLag * o.MaxLag)
+	for dr := 0; dr <= o.MaxLag; dr++ {
+		cMin := -o.MaxLag
+		if dr == 0 {
+			cMin = 1 // half-plane: dr>0, or dr==0 && dc>0
+		}
+		for dc := cMin; dc <= o.MaxLag; dc++ {
+			d2 := float64(dr*dr + dc*dc)
+			if d2 == 0 || d2 > maxSq {
+				continue
+			}
+			bin := int(math.Round(math.Sqrt(d2)))
+			if bin > nb {
+				continue
+			}
+			r0, r1 := 0, g.Rows-dr
+			for r := r0; r < r1; r++ {
+				c0, c1 := 0, g.Cols
+				if dc > 0 {
+					c1 = g.Cols - dc
+				} else {
+					c0 = -dc
+				}
+				base := r * g.Cols
+				off := (r+dr)*g.Cols + dc
+				for c := c0; c < c1; c++ {
+					d := g.Data[base+c] - g.Data[off+c]
+					sum[bin] += d * d
+					cnt[bin]++
+				}
+			}
+		}
+	}
+	return collect(sum, cnt)
+}
+
+// sampledScan draws random pairs: a random anchor point and a random
+// offset within the cutoff disc.
+func sampledScan(g *grid.Grid, o Options) *Empirical {
+	rng := xrand.New(o.Seed ^ 0x5eed5eed5eed5eed)
+	nb := o.MaxLag
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	maxSq := o.MaxLag * o.MaxLag
+	for p := 0; p < o.MaxPairs; p++ {
+		r := rng.Intn(g.Rows)
+		c := rng.Intn(g.Cols)
+		dr := rng.Intn(2*o.MaxLag+1) - o.MaxLag
+		dc := rng.Intn(2*o.MaxLag+1) - o.MaxLag
+		d2 := dr*dr + dc*dc
+		if d2 == 0 || d2 > maxSq {
+			continue
+		}
+		r2, c2 := r+dr, c+dc
+		if r2 < 0 || r2 >= g.Rows || c2 < 0 || c2 >= g.Cols {
+			continue
+		}
+		bin := int(math.Round(math.Sqrt(float64(d2))))
+		if bin > nb {
+			continue
+		}
+		d := g.At(r, c) - g.At(r2, c2)
+		sum[bin] += d * d
+		cnt[bin]++
+	}
+	return collect(sum, cnt)
+}
+
+func collect(sum []float64, cnt []int64) *Empirical {
+	e := &Empirical{}
+	for bin := 1; bin < len(sum); bin++ {
+		if cnt[bin] == 0 {
+			continue
+		}
+		e.H = append(e.H, float64(bin))
+		e.Gamma = append(e.Gamma, sum[bin]/(2*float64(cnt[bin])))
+		e.N = append(e.N, cnt[bin])
+	}
+	return e
+}
+
+// Model is a fitted squared-exponential variogram
+//
+//	γ(h) = Sill · (1 − exp(−h²/Range²))
+//
+// Range is directly comparable to the generating correlation range of
+// the synthetic Gaussian fields. RangePaper = Range² is the paper's
+// γ(h)=c0(1−exp(−h²/a)) parametrization of the same fit.
+type Model struct {
+	Sill       float64
+	Range      float64
+	RangePaper float64
+	RSS        float64 // weighted residual sum of squares of the fit
+}
+
+// Gamma evaluates the fitted model at lag h.
+func (m Model) Gamma(h float64) float64 {
+	if m.Range == 0 {
+		return m.Sill
+	}
+	return m.Sill * (1 - math.Exp(-h*h/(m.Range*m.Range)))
+}
+
+// Fit estimates the squared-exponential model from an empirical
+// variogram by pair-count-weighted least squares: for a candidate range
+// the optimal sill has a closed form, and the range itself is located
+// by golden-section search.
+func Fit(e *Empirical) (Model, error) {
+	if len(e.H) < 2 {
+		return Model{}, fmt.Errorf("variogram: %d bins are too few to fit", len(e.H))
+	}
+	hMax := e.H[len(e.H)-1]
+	obj := func(r float64) (float64, float64) { // returns (rss, sill)
+		var num, den float64
+		for i, h := range e.H {
+			f := 1 - math.Exp(-h*h/(r*r))
+			w := float64(e.N[i])
+			num += w * f * e.Gamma[i]
+			den += w * f * f
+		}
+		if den == 0 {
+			return math.Inf(1), 0
+		}
+		sill := num / den
+		var rss float64
+		for i, h := range e.H {
+			f := sill * (1 - math.Exp(-h*h/(r*r)))
+			d := f - e.Gamma[i]
+			rss += float64(e.N[i]) * d * d
+		}
+		return rss, sill
+	}
+	lo, hi := 0.25, 8*hMax
+	r := linalg.GoldenMinimize(func(x float64) float64 { rss, _ := obj(x); return rss }, lo, hi, 1e-4*hMax)
+	rss, sill := obj(r)
+	return Model{Sill: sill, Range: r, RangePaper: r * r, RSS: rss}, nil
+}
+
+// GlobalRange estimates the variogram range of the entire field: the
+// "Estimated global variogram range" axis of Figures 3 and 4.
+func GlobalRange(g *grid.Grid, opts Options) (Model, error) {
+	e, err := Compute(g, opts)
+	if err != nil {
+		return Model{}, err
+	}
+	return Fit(e)
+}
+
+// LocalRanges tiles the field with h×h windows and estimates a
+// variogram range per window (exact scan; windows are small). Windows
+// smaller than 4×4 after clipping, or constant windows, are skipped.
+func LocalRanges(g *grid.Grid, h int, opts Options) ([]float64, error) {
+	if h < 4 {
+		return nil, fmt.Errorf("variogram: window %d too small", h)
+	}
+	var ranges []float64
+	var firstErr error
+	g.Tiles(h, func(r0, c0 int, w *grid.Grid) {
+		if w.Rows < 4 || w.Cols < 4 {
+			return
+		}
+		if w.Summary().Variance == 0 {
+			return
+		}
+		o := opts
+		o.Exact = true
+		if o.MaxLag <= 0 || o.MaxLag > w.Rows/2 {
+			o.MaxLag = w.Rows / 2
+			if w.Cols/2 < o.MaxLag {
+				o.MaxLag = w.Cols / 2
+			}
+		}
+		e, err := Compute(w, o)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		m, err := Fit(e)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		ranges = append(ranges, m.Range)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ranges, nil
+}
+
+// LocalRangeStd is the "Std estimated of local variogram range (H=h)"
+// statistic: the standard deviation of per-window ranges.
+func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
+	ranges, err := LocalRanges(g, h, opts)
+	if err != nil {
+		return 0, err
+	}
+	if len(ranges) == 0 {
+		return 0, fmt.Errorf("variogram: no usable %dx%d windows", h, h)
+	}
+	return linalg.Std(ranges), nil
+}

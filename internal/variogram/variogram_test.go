@@ -1,0 +1,220 @@
+package variogram
+
+import (
+	"math"
+	"testing"
+
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func whiteNoise(rows, cols int, seed uint64) *grid.Grid {
+	rng := xrand.New(seed)
+	return grid.FromFunc(rows, cols, func(r, c int) float64 { return rng.NormFloat64() })
+}
+
+func TestComputeTooSmall(t *testing.T) {
+	if _, err := Compute(grid.New(1, 1), Options{}); err == nil {
+		t.Fatal("expected error for 1x1 field")
+	}
+}
+
+func TestWhiteNoiseFlatVariogram(t *testing.T) {
+	g := whiteNoise(64, 64, 1)
+	e, err := Compute(g, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// for iid noise γ(h) ≈ variance at every lag
+	v := g.Summary().Variance
+	for i, h := range e.H {
+		if math.Abs(e.Gamma[i]-v) > 0.2*v {
+			t.Fatalf("γ(%v)=%v far from variance %v", h, e.Gamma[i], v)
+		}
+	}
+}
+
+func TestEmpiricalMatchesTheoryOnGaussianField(t *testing.T) {
+	const rang = 8.0
+	f, err := gaussian.Generate(gaussian.Params{Rows: 96, Cols: 96, Range: rang, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Compute(f, Options{Exact: true, MaxLag: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range e.H {
+		if h < 2 || h > 12 {
+			continue
+		}
+		want := gaussian.TheoreticalVariogram(h, rang, 1)
+		if math.Abs(e.Gamma[i]-want) > 0.45*want+0.05 {
+			t.Fatalf("γ(%v)=%v want ≈%v", h, e.Gamma[i], want)
+		}
+	}
+}
+
+func TestFitRecoversSyntheticModel(t *testing.T) {
+	// exact model data: fit must recover sill and range closely
+	truth := Model{Sill: 2.5, Range: 7}
+	e := &Empirical{}
+	for h := 1.0; h <= 30; h++ {
+		e.H = append(e.H, h)
+		e.Gamma = append(e.Gamma, truth.Gamma(h))
+		e.N = append(e.N, 1000)
+	}
+	m, err := Fit(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Sill-truth.Sill) > 0.01 || math.Abs(m.Range-truth.Range) > 0.05 {
+		t.Fatalf("fit %+v want %+v", m, truth)
+	}
+	if math.Abs(m.RangePaper-m.Range*m.Range) > 1e-9 {
+		t.Fatalf("RangePaper inconsistent: %v vs %v", m.RangePaper, m.Range*m.Range)
+	}
+}
+
+func TestFitTooFewBins(t *testing.T) {
+	if _, err := Fit(&Empirical{H: []float64{1}, Gamma: []float64{1}, N: []int64{1}}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGlobalRangeRecoversGeneratingRange(t *testing.T) {
+	for _, rang := range []float64{4, 10} {
+		f, err := gaussian.Generate(gaussian.Params{Rows: 128, Cols: 128, Range: rang, Seed: uint64(rang)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := GlobalRange(f, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Range < rang*0.6 || m.Range > rang*1.6 {
+			t.Fatalf("range %v: estimated %v outside tolerance", rang, m.Range)
+		}
+	}
+}
+
+func TestGlobalRangeOrdering(t *testing.T) {
+	// larger generating range must yield larger estimated range
+	est := make([]float64, 0, 3)
+	for _, rang := range []float64{3, 9, 27} {
+		f, err := gaussian.Generate(gaussian.Params{Rows: 128, Cols: 128, Range: rang, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := GlobalRange(f, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est = append(est, m.Range)
+	}
+	if !(est[0] < est[1] && est[1] < est[2]) {
+		t.Fatalf("estimated ranges not ordered: %v", est)
+	}
+}
+
+func TestSampledMatchesExact(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 80, Cols: 80, Range: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Compute(f, Options{Exact: true, MaxLag: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Compute(f, Options{MaxLag: 16, MaxPairs: 600000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mE, err := Fit(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mS, err := Fit(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mE.Range-mS.Range) > 0.35*mE.Range {
+		t.Fatalf("sampled range %v vs exact %v", mS.Range, mE.Range)
+	}
+}
+
+func TestModelGammaZeroRange(t *testing.T) {
+	m := Model{Sill: 3}
+	if m.Gamma(5) != 3 {
+		t.Fatalf("degenerate model γ=%v", m.Gamma(5))
+	}
+}
+
+func TestLocalRangesHeterogeneousField(t *testing.T) {
+	// left half smooth (long range), right half rough: local ranges must
+	// spread more than on a homogeneous field
+	smooth, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rough := whiteNoise(64, 64, 2)
+	mixed := grid.New(64, 64)
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if c < 32 {
+				mixed.Set(r, c, smooth.At(r, c))
+			} else {
+				mixed.Set(r, c, rough.At(r, c))
+			}
+		}
+	}
+	stdMixed, err := LocalRangeStd(mixed, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdSmooth, err := LocalRangeStd(smooth, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdMixed <= stdSmooth {
+		t.Fatalf("heterogeneous std %v not above homogeneous %v", stdMixed, stdSmooth)
+	}
+}
+
+func TestLocalRangesCount(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := LocalRanges(f, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 4 {
+		t.Fatalf("expected 4 windows, got %d", len(ranges))
+	}
+}
+
+func TestLocalRangesWindowTooSmall(t *testing.T) {
+	if _, err := LocalRanges(grid.New(8, 8), 2, Options{}); err == nil {
+		t.Fatal("expected window error")
+	}
+}
+
+func TestLocalRangeStdConstantField(t *testing.T) {
+	if _, err := LocalRangeStd(grid.New(64, 64), 32, Options{}); err == nil {
+		t.Fatal("constant field has no usable windows; expected error")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	g := grid.New(10, 20)
+	o := (&Options{}).withDefaults(g)
+	if o.MaxLag != 5 {
+		t.Fatalf("default MaxLag %d want 5", o.MaxLag)
+	}
+	if o.MaxPairs != 400000 {
+		t.Fatalf("default MaxPairs %d", o.MaxPairs)
+	}
+}
