@@ -439,6 +439,105 @@ func BenchmarkLocalSVDStd(b *testing.B) {
 	}
 }
 
+// ---- parallel scaling -------------------------------------------------------
+
+// benchWorkerCounts are the pool sizes the scaling benchmarks sweep.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// bench512Field draws the 512×512 field the parallel-scaling
+// benchmarks share (generation happens outside the timed region).
+func bench512Field(b *testing.B) *grid.Grid {
+	b.Helper()
+	f, err := gaussian.Generate(gaussian.Params{Rows: 512, Cols: 512, Range: 32, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkLocalRangeStdParallel sweeps worker counts over the windowed
+// variogram statistic on a 512×512 field. Per-window work is uniform
+// and windows are independent, so throughput should scale near-linearly
+// until the core count is exhausted.
+func BenchmarkLocalRangeStdParallel(b *testing.B) {
+	f := bench512Field(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var ref float64
+			for i := 0; i < b.N; i++ {
+				v, err := variogram.LocalRangeStd(f, 32, variogram.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ref == 0 {
+					ref = v
+				} else if v != ref {
+					b.Fatalf("nondeterministic result: %v vs %v", v, ref)
+				}
+			}
+			b.ReportMetric(ref, "rangeStd")
+		})
+	}
+}
+
+// BenchmarkLocalSVDStdParallel sweeps worker counts over the windowed
+// SVD statistic on a 512×512 field.
+func BenchmarkLocalSVDStdParallel(b *testing.B) {
+	f := bench512Field(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := svdstat.LocalStdWith(f, 32, svdstat.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeParallel sweeps worker counts over the full analysis
+// (global range concurrent with both windowed statistics) on a 512×512
+// field — the orchestration-layer speedup of core.Analyze.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	f := bench512Field(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(f, core.AnalysisOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureFieldsParallel sweeps worker counts over the batch
+// measurement pipeline (analysis + three codecs × one bound per field).
+func BenchmarkMeasureFieldsParallel(b *testing.B) {
+	var fields []*grid.Grid
+	var labels []float64
+	for i, rang := range []float64{8, 16, 32, 64} {
+		f, err := gaussian.Generate(gaussian.Params{Rows: 256, Cols: 256, Range: rang, Seed: uint64(60 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fields = append(fields, f)
+		labels = append(labels, rang)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MeasureFields("bench", fields, labels, MeasureOptions{
+					ErrorBounds: []float64{1e-3},
+					Workers:     w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHydroStep measures one time step of the Euler solver at the
 // Miranda-substitute resolution.
 func BenchmarkHydroStep(b *testing.B) {

@@ -101,13 +101,15 @@ func cmdSample(args []string) error {
 	window := fs.Int("window", 32, "local window H")
 	stat := fs.String("stat", "range", "statistic: range | svd")
 	seed := fs.Uint64("seed", 1, "sampling seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	fs.Parse(args)
 
 	g, err := readField(*in)
 	if err != nil {
 		return err
 	}
-	points, err := lossycorr.SweepSamplingFractions(g, *window, *stat, nil, *seed)
+	points, err := lossycorr.SweepSamplingFractions(g, *window, *stat, nil,
+		lossycorr.SamplingOptions{Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -200,13 +202,14 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("in", "field.bin", "input field")
 	window := fs.Int("window", 32, "local statistics window H")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	fs.Parse(args)
 
 	g, err := readField(*in)
 	if err != nil {
 		return err
 	}
-	stats, err := lossycorr.Analyze(g, lossycorr.AnalysisOptions{Window: *window})
+	stats, err := lossycorr.Analyze(g, lossycorr.AnalysisOptions{Window: *window, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -271,6 +274,7 @@ func cmdPredict(args []string) error {
 	eb := fs.Float64("eb", 1e-3, "error bound for selection")
 	seed := fs.Uint64("seed", 1, "seed")
 	in := fs.String("in", "", "optional field to select a compressor for")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	fs.Parse(args)
 
 	var fields []*lossycorr.Grid
@@ -289,6 +293,7 @@ func cmdPredict(args []string) error {
 	ms, err := lossycorr.MeasureFields("train", fields, labels, lossycorr.MeasureOptions{
 		Analysis:    lossycorr.AnalysisOptions{SkipLocal: true},
 		ErrorBounds: []float64{*eb},
+		Workers:     *workers,
 	})
 	if err != nil {
 		return err

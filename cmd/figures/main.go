@@ -25,6 +25,7 @@ func main() {
 	reps := flag.Int("reps", 2, "replicates per range")
 	slices := flag.Int("slices", 6, "Miranda-substitute snapshots")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "worker goroutines for measurement (0 = all cores)")
 	outDir := flag.String("out", "", "directory for per-figure files (default: stdout)")
 	pgm := flag.Bool("pgm", false, "write PGM images for figure 2 (needs -out)")
 	flag.Parse()
@@ -34,6 +35,7 @@ func main() {
 		Replicates:    *reps,
 		MirandaSlices: *slices,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 
 	sink := func(name string) (io.Writer, func() error, error) {

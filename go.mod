@@ -1,0 +1,3 @@
+module lossycorr
+
+go 1.24

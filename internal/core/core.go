@@ -10,12 +10,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/mgardlike"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/szlike"
 	"lossycorr/internal/variogram"
@@ -39,6 +38,14 @@ type AnalysisOptions struct {
 	VariogramOpts    variogram.Options // empirical variogram controls
 	VarianceFraction float64           // SVD threshold; 0 means 0.99
 	SkipLocal        bool              // global range only (cheaper)
+	// Workers sizes each worker pool of the analysis rather than capping
+	// total goroutines: the three statistics run concurrently on one
+	// pool and each windowed statistic fans its windows out over its
+	// own, so peak concurrency can reach a small multiple of Workers
+	// (the Go scheduler multiplexes them onto GOMAXPROCS threads).
+	// 0 means GOMAXPROCS per pool; 1 forces the fully serial path.
+	// Results are bit-identical for every value.
+	Workers int
 }
 
 func (o AnalysisOptions) withDefaults() AnalysisOptions {
@@ -51,27 +58,53 @@ func (o AnalysisOptions) withDefaults() AnalysisOptions {
 	return o
 }
 
-// Analyze extracts the correlation statistics of a field.
+// Analyze extracts the correlation statistics of a field. The three
+// statistics (global variogram range, local variogram-range std, local
+// SVD-truncation std) are independent and run concurrently on the
+// shared worker pool; each windowed statistic additionally fans its
+// windows out over the same pool. Error precedence is fixed (global,
+// then local variogram, then local SVD) so failures are reported
+// identically at any worker count.
 func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
 	o := opts.withDefaults()
-	var s Statistics
-	m, err := variogram.GlobalRange(g, o.VariogramOpts)
-	if err != nil {
-		return s, fmt.Errorf("core: global variogram: %w", err)
+	vOpts := o.VariogramOpts
+	if vOpts.Workers == 0 {
+		vOpts.Workers = o.Workers
 	}
-	s.GlobalRange = m.Range
-	s.GlobalSill = m.Sill
+	var s Statistics
 	if o.SkipLocal {
+		m, err := variogram.GlobalRange(g, vOpts)
+		if err != nil {
+			return s, fmt.Errorf("core: global variogram: %w", err)
+		}
+		s.GlobalRange = m.Range
+		s.GlobalSill = m.Sill
 		return s, nil
 	}
-	s.LocalRangeStd, err = variogram.LocalRangeStd(g, o.Window, o.VariogramOpts)
-	if err != nil {
-		return s, fmt.Errorf("core: local variogram: %w", err)
+	var (
+		model                 variogram.Model
+		gErr, localErr, svErr error
+	)
+	parallel.Do(o.Workers,
+		func() { model, gErr = variogram.GlobalRange(g, vOpts) },
+		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStd(g, o.Window, vOpts) },
+		func() {
+			s.LocalSVDStd, svErr = svdstat.LocalStdWith(g, o.Window, svdstat.Options{
+				Frac: o.VarianceFraction, Workers: o.Workers,
+			})
+		},
+	)
+	if gErr != nil {
+		return Statistics{}, fmt.Errorf("core: global variogram: %w", gErr)
 	}
-	s.LocalSVDStd, err = svdstat.LocalStd(g, o.Window, o.VarianceFraction)
-	if err != nil {
-		return s, fmt.Errorf("core: local svd: %w", err)
+	if localErr != nil {
+		return Statistics{}, fmt.Errorf("core: local variogram: %w", localErr)
 	}
+	if svErr != nil {
+		return Statistics{}, fmt.Errorf("core: local svd: %w", svErr)
+	}
+	s.GlobalRange = model.Range
+	s.GlobalSill = model.Sill
 	return s, nil
 }
 
@@ -99,12 +132,17 @@ type Measurement struct {
 type MeasureOptions struct {
 	Analysis    AnalysisOptions
 	ErrorBounds []float64 // nil means compress.PaperErrorBounds
-	Workers     int       // 0 means GOMAXPROCS
+	// Workers bounds the field-level fan-out (and, unless
+	// Analysis.Workers overrides it, the per-field statistic fan-out).
+	// 0 means GOMAXPROCS; 1 forces serial measurement.
+	Workers int
 }
 
 // MeasureFields analyzes and compresses every field with every
-// registered compressor at every error bound, fanning fields out over a
-// worker pool. Results keep the input field order.
+// registered compressor at every error bound, fanning fields out over
+// the shared worker pool. Results keep the input field order; on
+// failure the error of the lowest-indexed failing field is returned,
+// independent of scheduling.
 func MeasureFields(name string, fields []*grid.Grid, labels []float64,
 	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
 
@@ -112,35 +150,18 @@ func MeasureFields(name string, fields []*grid.Grid, labels []float64,
 	if ebs == nil {
 		ebs = compress.PaperErrorBounds
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(fields) && len(fields) > 0 {
-		workers = len(fields)
+	aOpts := opts.Analysis
+	if aOpts.Workers == 0 {
+		aOpts.Workers = opts.Workers
 	}
 	out := make([]Measurement, len(fields))
-	errs := make([]error, len(fields))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i], errs[i] = measureOne(name, i, fields[i], labels, reg, ebs, opts.Analysis)
-			}
-		}()
-	}
-	for i := range fields {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := parallel.ForErr(len(fields), opts.Workers, func(i int) error {
+		var err error
+		out[i], err = measureOne(name, i, fields[i], labels, reg, ebs, aOpts)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -106,6 +106,23 @@ func (g *Grid) Tiles(h int, fn func(r0, c0 int, w *Grid)) {
 	}
 }
 
+// TileOrigins returns the top-left corner of every h×h tile in the
+// order Tiles visits them, without copying any window — callers that
+// fan tiles out over workers extract each window (Window) lazily so at
+// most one window per worker is live at a time.
+func (g *Grid) TileOrigins(h int) [][2]int {
+	if h <= 0 {
+		panic("grid: non-positive tile size")
+	}
+	origins := make([][2]int, 0, g.NumTiles(h))
+	for r0 := 0; r0 < g.Rows; r0 += h {
+		for c0 := 0; c0 < g.Cols; c0 += h {
+			origins = append(origins, [2]int{r0, c0})
+		}
+	}
+	return origins
+}
+
 // NumTiles returns how many h×h tiles (including clipped edge tiles)
 // cover the grid.
 func (g *Grid) NumTiles(h int) int {

@@ -105,6 +105,29 @@ func TestTilesCoverEverythingOnce(t *testing.T) {
 	}
 }
 
+func TestTileOriginsMatchTilesOrder(t *testing.T) {
+	g := FromFunc(7, 10, func(r, c int) float64 { return 1 })
+	var want [][2]int
+	g.Tiles(4, func(r0, c0 int, w *Grid) {
+		want = append(want, [2]int{r0, c0})
+	})
+	got := g.TileOrigins(4)
+	if len(got) != len(want) || len(got) != g.NumTiles(4) {
+		t.Fatalf("origin count %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("origin[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive tile size")
+		}
+	}()
+	g.TileOrigins(0)
+}
+
 func TestNumTiles(t *testing.T) {
 	g := New(32, 32)
 	if n := g.NumTiles(32); n != 1 {

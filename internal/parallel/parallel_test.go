@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0, 100) = %d want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3, 100) = %d", got)
+	}
+	if got := Resolve(16, 4); got != 4 {
+		t.Fatalf("Resolve(16, 4) = %d want 4 (clamped to jobs)", got)
+	}
+	if got := Resolve(16, 0); got != 16 {
+		t.Fatalf("Resolve(16, 0) = %d want 16 (no clamp without job count)", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 3, 100, 1025} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var got []int
+	For(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial For out of order: %v", got)
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		out := Map(500, workers, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: Map[%d] = %d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map over empty space = %v want nil", out)
+	}
+}
+
+func TestMapReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A float fold whose result depends on fold order: identical results
+	// across worker counts prove the fold happens in index order.
+	sum := func(workers int) float64 {
+		return MapReduce(1000, workers,
+			func(i int) float64 { return 1.0 / float64(i+1) },
+			0.0,
+			func(acc, v float64, _ int) float64 { return acc + v })
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 5, 16} {
+		if got := sum(w); got != ref {
+			t.Fatalf("MapReduce not bit-identical: workers=%d got %v want %v", w, got, ref)
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForErr(100, workers, func(i int) error {
+			if i%10 == 7 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Fatalf("workers=%d: got %v want fail at 7", workers, err)
+		}
+	}
+	if err := ForErr(50, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForErrRunsEveryIndexDespiteFailures(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := ForErr(64, 8, func(i int) error {
+		ran.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("only %d of 64 indices ran", ran.Load())
+	}
+}
+
+func TestFilterMapErr(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		// keep even indices, fail nothing
+		vals, err := FilterMapErr(10, workers, func(i int) (int, bool, error) {
+			return i, i%2 == 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{0, 2, 4, 6, 8}
+		if len(vals) != len(want) {
+			t.Fatalf("workers=%d: got %v want %v", workers, vals, want)
+		}
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("workers=%d: got %v want %v", workers, vals, want)
+			}
+		}
+		// lowest-index error wins even when ok values precede it
+		_, err = FilterMapErr(20, workers, func(i int) (int, bool, error) {
+			if i >= 5 {
+				return 0, false, fmt.Errorf("fail at %d", i)
+			}
+			return i, true, nil
+		})
+		if err == nil || err.Error() != "fail at 5" {
+			t.Fatalf("workers=%d: got %v want fail at 5", workers, err)
+		}
+	}
+	if vals, err := FilterMapErr(0, 4, func(int) (int, bool, error) { return 0, true, nil }); err != nil || len(vals) != 0 {
+		t.Fatalf("empty space: %v %v", vals, err)
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(4,
+		func() { a.Store(true) },
+		func() { b.Store(true) },
+		func() { c.Store(true) },
+	)
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a task")
+	}
+	Do(4) // no tasks: must not hang or panic
+}
+
+func TestDoSerialOrder(t *testing.T) {
+	var got []int
+	Do(1,
+		func() { got = append(got, 0) },
+		func() { got = append(got, 1) },
+		func() { got = append(got, 2) },
+	)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Do(1) out of order: %v", got)
+		}
+	}
+}
+
+// TestStressConcurrentPools exercises many pools at once (the nested
+// shape core.Analyze produces) so `go test -race` can see cross-pool
+// interactions.
+func TestStressConcurrentPools(t *testing.T) {
+	var total atomic.Int64
+	For(8, 8, func(outer int) {
+		s := MapReduce(200, 4,
+			func(i int) int64 { return int64(i) },
+			int64(0),
+			func(acc, v int64, _ int) int64 { return acc + v })
+		total.Add(s)
+	})
+	want := int64(8 * 199 * 200 / 2)
+	if total.Load() != want {
+		t.Fatalf("nested pools total %d want %d", total.Load(), want)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/variogram"
 	"lossycorr/internal/xrand"
@@ -25,6 +26,10 @@ import (
 type Options struct {
 	Fraction float64 // fraction of windows evaluated; 0 means 0.25
 	Seed     uint64
+	// Workers bounds the goroutines evaluating sampled windows. 0 means
+	// GOMAXPROCS; 1 forces serial evaluation. Results are bit-identical
+	// for every value (the sampled window set depends only on Seed).
+	Workers int
 }
 
 func (o Options) fraction() float64 {
@@ -56,27 +61,31 @@ func sampleWindows(g *grid.Grid, h int, frac float64, seed uint64) []*grid.Grid 
 }
 
 // LocalRangeStd estimates the std of local variogram ranges from a
-// sampled subset of windows.
+// sampled subset of windows. Sampled windows are evaluated on the
+// shared worker pool in sampling order (which depends only on the
+// seed), so results match the serial path bit for bit.
 func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
 	if h < 4 {
 		return 0, fmt.Errorf("sampling: window %d too small", h)
 	}
 	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	var ranges []float64
-	for _, w := range windows {
+	ranges, err := parallel.FilterMapErr(len(windows), opts.Workers, func(i int) (float64, bool, error) {
+		w := windows[i]
 		if w.Rows < 4 || w.Cols < 4 || w.Summary().Variance == 0 {
-			continue
+			return 0, false, nil
 		}
-		vOpts := variogram.Options{Exact: true}
-		e, err := variogram.Compute(w, vOpts)
+		e, err := variogram.Compute(w, variogram.Options{Exact: true})
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		m, err := variogram.Fit(e)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		ranges = append(ranges, m.Range)
+		return m.Range, true, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	if len(ranges) == 0 {
 		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
@@ -94,16 +103,19 @@ func LocalSVDStd(g *grid.Grid, h int, frac float64, opts Options) (float64, erro
 		frac = svdstat.DefaultVarianceFraction
 	}
 	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	var levels []float64
-	for _, w := range windows {
+	levels, err := parallel.FilterMapErr(len(windows), opts.Workers, func(i int) (float64, bool, error) {
+		w := windows[i]
 		if w.Rows < 2 || w.Cols < 2 {
-			continue
+			return 0, false, nil
 		}
 		k, err := svdstat.TruncationLevel(w, frac)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		levels = append(levels, float64(k))
+		return float64(k), true, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	if len(levels) == 0 {
 		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
@@ -122,18 +134,20 @@ type SweepPoint struct {
 // SweepFractions evaluates a sampled statistic at increasing sampling
 // fractions against its full evaluation — the "increasing levels of
 // sampling by block" experiment of the paper's future work. stat is
-// either "range" (local variogram range std) or "svd".
-func SweepFractions(g *grid.Grid, h int, stat string, fractions []float64, seed uint64) ([]SweepPoint, error) {
+// either "range" (local variogram range std) or "svd". Seed and Workers
+// come from opts (Fraction is ignored; the sweep supplies its own), and
+// each fraction's windows are evaluated on the worker pool.
+func SweepFractions(g *grid.Grid, h int, stat string, fractions []float64, opts Options) ([]SweepPoint, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.1, 0.25, 0.5, 0.75, 1}
 	}
 	eval := func(frac float64) (float64, error) {
-		opts := Options{Fraction: frac, Seed: seed}
+		o := Options{Fraction: frac, Seed: opts.Seed, Workers: opts.Workers}
 		switch stat {
 		case "range":
-			return LocalRangeStd(g, h, opts)
+			return LocalRangeStd(g, h, o)
 		case "svd":
-			return LocalSVDStd(g, h, svdstat.DefaultVarianceFraction, opts)
+			return LocalSVDStd(g, h, svdstat.DefaultVarianceFraction, o)
 		default:
 			return 0, fmt.Errorf("sampling: unknown statistic %q (want range|svd)", stat)
 		}

@@ -87,7 +87,7 @@ func TestValidation(t *testing.T) {
 
 func TestSweepFractions(t *testing.T) {
 	f := heterogeneousField(t)
-	points, err := SweepFractions(f, 32, "range", []float64{0.25, 0.5, 1}, 11)
+	points, err := SweepFractions(f, 32, "range", []float64{0.25, 0.5, 1}, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +106,14 @@ func TestSweepFractions(t *testing.T) {
 			t.Fatalf("negative error: %+v", p)
 		}
 	}
-	if _, err := SweepFractions(f, 32, "nope", nil, 1); err == nil {
+	if _, err := SweepFractions(f, 32, "nope", nil, Options{Seed: 1}); err == nil {
 		t.Fatal("unknown stat must error")
 	}
 }
 
 func TestSweepFractionsSVD(t *testing.T) {
 	f := heterogeneousField(t)
-	points, err := SweepFractions(f, 32, "svd", nil, 13)
+	points, err := SweepFractions(f, 32, "svd", nil, Options{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package svdstat
+
+import (
+	"testing"
+
+	"lossycorr/internal/gaussian"
+)
+
+// TestLocalLevelsSerialParallelIdentical asserts the determinism
+// contract: per-window truncation levels are bit-identical at any
+// worker count, in tile order.
+func TestLocalLevelsSerialParallelIdentical(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 96, Cols: 96, Range: 8, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := LocalLevelsWith(f, 16, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := LocalLevelsWith(f, 16, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d levels vs %d serial", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: level[%d] = %v != serial %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestLocalStdSerialParallelIdentical(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 96, Cols: 96, Range: 12, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := LocalStdWith(f, 16, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LocalStdWith(f, 16, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != par {
+		t.Fatalf("LocalStd not bit-identical: serial %v parallel %v", serial, par)
+	}
+}
+
+func TestLocalStdWithDefaultsMatchLocalStd(t *testing.T) {
+	f, err := gaussian.Generate(gaussian.Params{Rows: 64, Cols: 64, Range: 8, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LocalStd(f, 32, DefaultVarianceFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalStdWith(f, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("LocalStdWith zero options %v != LocalStd default %v", b, a)
+	}
+}

@@ -10,10 +10,29 @@ import (
 
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
+	"lossycorr/internal/parallel"
 )
 
 // DefaultVarianceFraction is the paper's 99 % threshold.
 const DefaultVarianceFraction = 0.99
+
+// Options configures windowed SVD statistics.
+type Options struct {
+	// Frac is the variance fraction a window's leading modes must
+	// capture. 0 means DefaultVarianceFraction.
+	Frac float64
+	// Workers bounds the goroutines of the per-window fan-out. 0 means
+	// GOMAXPROCS; 1 forces serial evaluation. Results are bit-identical
+	// for every value.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Frac == 0 {
+		o.Frac = DefaultVarianceFraction
+	}
+	return o
+}
 
 // TruncationLevel returns the smallest k such that the top-k singular
 // values of the mean-centered window capture at least frac of its total
@@ -52,37 +71,41 @@ func TruncationLevel(w *grid.Grid, frac float64) (int, error) {
 	return len(sv), nil
 }
 
-// LocalLevels tiles the field with h×h windows and returns the
-// truncation level of every window.
-func LocalLevels(g *grid.Grid, h int, frac float64) ([]float64, error) {
+// LocalLevelsWith tiles the field with h×h windows and returns the
+// truncation level of every window, fanning window SVDs out over the
+// shared worker pool. Each worker extracts its window lazily and levels
+// are collected in tile order, so the result is independent of
+// scheduling.
+func LocalLevelsWith(g *grid.Grid, h int, opts Options) ([]float64, error) {
 	if h < 2 {
 		return nil, fmt.Errorf("svdstat: window %d too small", h)
 	}
-	var levels []float64
-	var firstErr error
-	g.Tiles(h, func(r0, c0 int, w *grid.Grid) {
+	o := opts.withDefaults()
+	origins := g.TileOrigins(h)
+	return parallel.FilterMapErr(len(origins), o.Workers, func(i int) (float64, bool, error) {
+		w := g.Window(origins[i][0], origins[i][1], h, h)
 		if w.Rows < 2 || w.Cols < 2 {
-			return
+			return 0, false, nil
 		}
-		k, err := TruncationLevel(w, frac)
+		k, err := TruncationLevel(w, o.Frac)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
+			return 0, false, err
 		}
-		levels = append(levels, float64(k))
+		return float64(k), true, nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return levels, nil
 }
 
-// LocalStd is the paper's statistic: the standard deviation of local
-// SVD truncation levels over h×h windows.
-func LocalStd(g *grid.Grid, h int, frac float64) (float64, error) {
-	levels, err := LocalLevels(g, h, frac)
+// LocalLevels tiles the field with h×h windows and returns the
+// truncation level of every window.
+func LocalLevels(g *grid.Grid, h int, frac float64) ([]float64, error) {
+	return LocalLevelsWith(g, h, Options{Frac: frac})
+}
+
+// LocalStdWith is the paper's statistic — the standard deviation of
+// local SVD truncation levels over h×h windows — with explicit control
+// over the variance fraction and worker count.
+func LocalStdWith(g *grid.Grid, h int, opts Options) (float64, error) {
+	levels, err := LocalLevelsWith(g, h, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -90,4 +113,10 @@ func LocalStd(g *grid.Grid, h int, frac float64) (float64, error) {
 		return 0, fmt.Errorf("svdstat: no usable %dx%d windows", h, h)
 	}
 	return linalg.Std(levels), nil
+}
+
+// LocalStd is the paper's statistic: the standard deviation of local
+// SVD truncation levels over h×h windows.
+func LocalStd(g *grid.Grid, h int, frac float64) (float64, error) {
+	return LocalStdWith(g, h, Options{Frac: frac})
 }

@@ -21,6 +21,7 @@ import (
 
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/xrand"
 )
 
@@ -43,6 +44,10 @@ type Options struct {
 	Exact bool
 	// Seed feeds the pair sampler (ignored for exact scans).
 	Seed uint64
+	// Workers bounds the goroutines used by the windowed estimators
+	// (LocalRanges and friends). 0 means GOMAXPROCS; 1 forces the
+	// serial path. Results are bit-identical for every value.
+	Workers int
 }
 
 func (o *Options) withDefaults(g *grid.Grid) Options {
@@ -234,50 +239,50 @@ func GlobalRange(g *grid.Grid, opts Options) (Model, error) {
 	return Fit(e)
 }
 
+// windowRange estimates the variogram range of one window, mirroring
+// the per-tile branch of the serial implementation: clipped or constant
+// windows are skipped (ok == false without error).
+func windowRange(w *grid.Grid, opts Options) (rang float64, ok bool, err error) {
+	if w.Rows < 4 || w.Cols < 4 {
+		return 0, false, nil
+	}
+	if w.Summary().Variance == 0 {
+		return 0, false, nil
+	}
+	o := opts
+	o.Exact = true
+	if o.MaxLag <= 0 || o.MaxLag > w.Rows/2 {
+		o.MaxLag = w.Rows / 2
+		if w.Cols/2 < o.MaxLag {
+			o.MaxLag = w.Cols / 2
+		}
+	}
+	e, err := Compute(w, o)
+	if err != nil {
+		return 0, false, err
+	}
+	m, err := Fit(e)
+	if err != nil {
+		return 0, false, err
+	}
+	return m.Range, true, nil
+}
+
 // LocalRanges tiles the field with h×h windows and estimates a
 // variogram range per window (exact scan; windows are small). Windows
 // smaller than 4×4 after clipping, or constant windows, are skipped.
+// Tiles are evaluated on the shared worker pool (opts.Workers) — each
+// worker extracts its window lazily, so only ~Workers windows are live
+// at once — and collected in tile order, so the result is independent
+// of scheduling.
 func LocalRanges(g *grid.Grid, h int, opts Options) ([]float64, error) {
 	if h < 4 {
 		return nil, fmt.Errorf("variogram: window %d too small", h)
 	}
-	var ranges []float64
-	var firstErr error
-	g.Tiles(h, func(r0, c0 int, w *grid.Grid) {
-		if w.Rows < 4 || w.Cols < 4 {
-			return
-		}
-		if w.Summary().Variance == 0 {
-			return
-		}
-		o := opts
-		o.Exact = true
-		if o.MaxLag <= 0 || o.MaxLag > w.Rows/2 {
-			o.MaxLag = w.Rows / 2
-			if w.Cols/2 < o.MaxLag {
-				o.MaxLag = w.Cols / 2
-			}
-		}
-		e, err := Compute(w, o)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		m, err := Fit(e)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		ranges = append(ranges, m.Range)
+	origins := g.TileOrigins(h)
+	return parallel.FilterMapErr(len(origins), opts.Workers, func(i int) (float64, bool, error) {
+		return windowRange(g.Window(origins[i][0], origins[i][1], h, h), opts)
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return ranges, nil
 }
 
 // LocalRangeStd is the "Std estimated of local variogram range (H=h)"

@@ -148,7 +148,7 @@ func TestSamplingAndEntropyFacade(t *testing.T) {
 	if _, err := SampledLocalSVDStd(f, 32, 0.99, SamplingOptions{Fraction: 0.5}); err != nil {
 		t.Fatal(err)
 	}
-	points, err := SweepSamplingFractions(f, 32, "range", []float64{0.5, 1}, 3)
+	points, err := SweepSamplingFractions(f, 32, "range", []float64{0.5, 1}, SamplingOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
