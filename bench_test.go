@@ -323,6 +323,37 @@ func BenchmarkExt3DPipeline(b *testing.B) {
 	b.ReportMetric(ratio, "ratio")
 }
 
+// BenchmarkUnified3DPipeline exercises the dimension-generic pipeline
+// end to end on a volume: AnalyzeVolume (all three statistics over
+// H×H×H windows) plus a registry-dispatched 3D codec sweep — the same
+// code path the 2D benchmarks above exercise, through the field layer.
+func BenchmarkUnified3DPipeline(b *testing.B) {
+	vol, err := GenerateGaussian3D(Gaussian3DParams{Nz: 32, Ny: 32, Nx: 32, Range: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := FieldFromVolume(vol)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := AnalyzeField(f, AnalysisOptions{Window: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.GlobalRange <= 0 {
+			b.Fatal("degenerate analysis")
+		}
+		for _, name := range CompressorsFor(3) {
+			res, err := MeasureField(name, f, 1e-3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = res.Ratio
+		}
+	}
+	b.ReportMetric(ratio, "lastRatio")
+}
+
 // ---- ablations --------------------------------------------------------------
 
 // BenchmarkAblationSZPredictors quantifies what each of the SZ-like

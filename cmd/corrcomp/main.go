@@ -1,20 +1,24 @@
 // Command corrcomp is the command-line front end of the lossycorr
-// library: it generates correlated fields, extracts their correlation
-// statistics, runs error-bounded lossy compressors over them, and fits
-// the paper's CR = α + β·log(x) regressions.
+// library: it generates correlated fields (2D grids or 3D volumes),
+// extracts their correlation statistics, runs error-bounded lossy
+// compressors over them, and fits the paper's CR = α + β·log(x)
+// regressions.
 //
 // Subcommands:
 //
 //	corrcomp gen       -kind gaussian -rows 256 -cols 256 -range 16 -seed 1 -out field.bin
-//	corrcomp analyze   -in field.bin [-window 32]
-//	corrcomp compress  -in field.bin -codec sz-like -eb 1e-3 [-verify]
-//	corrcomp sweep     -in field.bin            # all codecs × paper bounds
+//	corrcomp gen       -kind gaussian -dims 64,64,64 -range 6 -out vol.bin   # 3D volume
+//	corrcomp analyze   -in field.bin [-window 32]   # 2D or 3D, auto-detected
+//	corrcomp compress  -in field.bin -codec sz-like -eb 1e-3
+//	corrcomp sweep     -in field.bin            # the input's rank's codecs × paper bounds
 //	corrcomp predict   -size 128 -train 6       # train models, select codec
-//	corrcomp list                               # available compressors
+//	corrcomp predict   -ndim 3 -size 24 -in vol.bin  # 3D models for a volume
+//	corrcomp list                               # available compressors per rank
 //
-// Fields are stored in the library's simple binary format (two uint32
-// dimensions + float64 payload, little endian); -pgm dumps a grayscale
-// preview next to the output.
+// 2D fields are stored in the library's legacy binary format (two
+// uint32 dimensions + float64 payload, little endian); volumes use the
+// tagged "LCF1" field format. Every reader auto-detects the rank, so
+// analyze/compress/sweep/predict run the same pipeline on either.
 package main
 
 import (
@@ -48,8 +52,10 @@ func main() {
 	case "sample":
 		err = cmdSample(os.Args[2:])
 	case "list":
-		for _, n := range lossycorr.Compressors().Names() {
-			fmt.Println(n)
+		for _, ndim := range []int{2, 3} {
+			for _, n := range lossycorr.CompressorsFor(ndim) {
+				fmt.Printf("%s\t(%dD)\n", n, ndim)
+			}
 		}
 	case "-h", "--help", "help":
 		usage()
@@ -75,7 +81,7 @@ func cmdEntropy(args []string) error {
 	eb := fs.Float64("eb", 1e-3, "absolute error bound")
 	fs.Parse(args)
 
-	g, err := readField(*in)
+	g, err := readField2D(*in)
 	if err != nil {
 		return err
 	}
@@ -104,7 +110,7 @@ func cmdSample(args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	fs.Parse(args)
 
-	g, err := readField(*in)
+	g, err := readField2D(*in)
 	if err != nil {
 		return err
 	}
@@ -122,25 +128,66 @@ func cmdSample(args []string) error {
 	return nil
 }
 
+// parseDims parses a comma-separated extent list ("64,64,64").
+func parseDims(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var dims []int
+	for _, tok := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -dims entry %q", tok)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func shapeString(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, s := range shape {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, "x")
+}
+
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	kind := fs.String("kind", "gaussian", "gaussian | multi | turbulence")
-	rows := fs.Int("rows", 256, "field rows")
-	cols := fs.Int("cols", 256, "field cols")
+	rows := fs.Int("rows", 256, "field rows (2D)")
+	cols := fs.Int("cols", 256, "field cols (2D)")
+	dims := fs.String("dims", "", "volume extents nz,ny,nx — switches gaussian to 3D")
 	rang := fs.Float64("range", 16, "correlation range (gaussian)")
 	ranges := fs.String("ranges", "4,32", "comma-separated ranges (multi)")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("out", "field.bin", "output file")
-	pgm := fs.Bool("pgm", false, "also write a .pgm preview")
+	pgm := fs.Bool("pgm", false, "also write a .pgm preview (2D only)")
 	fs.Parse(args)
 
+	d3, err := parseDims(*dims)
+	if err != nil {
+		return err
+	}
 	var g *lossycorr.Grid
-	var err error
+	var fld *lossycorr.Field
 	switch *kind {
 	case "gaussian":
-		g, err = lossycorr.GenerateGaussian(lossycorr.GaussianParams{
-			Rows: *rows, Cols: *cols, Range: *rang, Seed: *seed,
-		})
+		if len(d3) == 3 {
+			var v *lossycorr.Volume
+			v, err = lossycorr.GenerateGaussian3D(lossycorr.Gaussian3DParams{
+				Nz: d3[0], Ny: d3[1], Nx: d3[2], Range: *rang, Seed: *seed,
+			})
+			if err == nil {
+				fld = lossycorr.FieldFromVolume(v)
+			}
+		} else if len(d3) != 0 {
+			return fmt.Errorf("-dims wants 3 extents (nz,ny,nx), got %d", len(d3))
+		} else {
+			g, err = lossycorr.GenerateGaussian(lossycorr.GaussianParams{
+				Rows: *rows, Cols: *cols, Range: *rang, Seed: *seed,
+			})
+		}
 	case "multi":
 		var rs []float64
 		for _, tok := range strings.Split(*ranges, ",") {
@@ -165,15 +212,21 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
+	if fld == nil {
+		fld = lossycorr.FieldFromGrid(g)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := g.WriteBinary(f); err != nil {
+	if err := fld.WriteBinary(f); err != nil {
 		return err
 	}
 	if *pgm {
+		if g == nil {
+			return fmt.Errorf("-pgm previews are 2D only")
+		}
 		p, err := os.Create(*out + ".pgm")
 		if err != nil {
 			return err
@@ -183,37 +236,52 @@ func cmdGen(args []string) error {
 			return err
 		}
 	}
-	st := g.Summary()
-	fmt.Printf("wrote %s: %dx%d min=%.4g max=%.4g var=%.4g\n",
-		*out, g.Rows, g.Cols, st.Min, st.Max, st.Variance)
+	st := fld.Summary()
+	fmt.Printf("wrote %s: %s min=%.4g max=%.4g var=%.4g\n",
+		*out, shapeString(fld.Shape), st.Min, st.Max, st.Variance)
 	return nil
 }
 
-func readField(path string) (*lossycorr.Grid, error) {
+func readField(path string) (*lossycorr.Field, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return lossycorr.ReadGrid(f)
+	return lossycorr.ReadField(f)
+}
+
+func readField2D(path string) (*lossycorr.Grid, error) {
+	fld, err := readField(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := fld.AsGrid()
+	if err != nil {
+		return nil, fmt.Errorf("%s: this subcommand is 2D only (%w)", path, err)
+	}
+	return g, nil
 }
 
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	in := fs.String("in", "field.bin", "input field")
+	in := fs.String("in", "field.bin", "input field (2D or 3D)")
 	window := fs.Int("window", 32, "local statistics window H")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	gram := fs.Bool("gram", false, "use the Gram-matrix fast path for the local SVD statistic")
 	fs.Parse(args)
 
-	g, err := readField(*in)
+	fld, err := readField(*in)
 	if err != nil {
 		return err
 	}
-	stats, err := lossycorr.Analyze(g, lossycorr.AnalysisOptions{Window: *window, Workers: *workers})
+	stats, err := lossycorr.AnalyzeField(fld, lossycorr.AnalysisOptions{
+		Window: *window, Workers: *workers, SVDGram: *gram,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("field: %dx%d\n", g.Rows, g.Cols)
+	fmt.Printf("field: %s\n", shapeString(fld.Shape))
 	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
 	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
 	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, *window)
@@ -223,16 +291,28 @@ func cmdAnalyze(args []string) error {
 
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	in := fs.String("in", "field.bin", "input field")
-	codec := fs.String("codec", "sz-like", "compressor name (see corrcomp list)")
+	in := fs.String("in", "field.bin", "input field (2D or 3D)")
+	codec := fs.String("codec", "", "compressor name (default: first codec of the input's rank)")
 	eb := fs.Float64("eb", 1e-3, "absolute error bound")
 	fs.Parse(args)
 
-	g, err := readField(*in)
+	fld, err := readField(*in)
 	if err != nil {
 		return err
 	}
-	res, err := lossycorr.Measure(*codec, g, *eb)
+	name := *codec
+	if name == "" {
+		if fld.NDim() == 2 {
+			name = "sz-like" // historical default
+		} else {
+			names := lossycorr.CompressorsFor(fld.NDim())
+			if len(names) == 0 {
+				return fmt.Errorf("no codecs for rank-%d fields", fld.NDim())
+			}
+			name = names[0]
+		}
+	}
+	res, err := lossycorr.MeasureField(name, fld, *eb)
 	if err != nil {
 		return err
 	}
@@ -242,16 +322,16 @@ func cmdCompress(args []string) error {
 
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	in := fs.String("in", "field.bin", "input field")
+	in := fs.String("in", "field.bin", "input field (2D or 3D)")
 	fs.Parse(args)
 
-	g, err := readField(*in)
+	fld, err := readField(*in)
 	if err != nil {
 		return err
 	}
-	for _, name := range lossycorr.Compressors().Names() {
+	for _, name := range lossycorr.CompressorsFor(fld.NDim()) {
 		for _, eb := range lossycorr.PaperErrorBounds {
-			res, err := lossycorr.Measure(name, g, eb)
+			res, err := lossycorr.MeasureField(name, fld, eb)
 			if err != nil {
 				return err
 			}
@@ -269,28 +349,69 @@ func printResult(res lossycorr.Result) {
 
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
-	size := fs.Int("size", 128, "training field edge")
+	size := fs.Int("size", 0, "training field edge (0 = 128 for 2D, 24 for 3D)")
 	train := fs.Int("train", 6, "number of training ranges")
+	ndim := fs.Int("ndim", 0, "training rank: 2 or 3 (0 = follow -in, else 2)")
 	eb := fs.Float64("eb", 1e-3, "error bound for selection")
 	seed := fs.Uint64("seed", 1, "seed")
-	in := fs.String("in", "", "optional field to select a compressor for")
+	in := fs.String("in", "", "optional field (2D or 3D) to select a compressor for")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	fs.Parse(args)
 
-	var fields []*lossycorr.Grid
-	var labels []float64
-	for i := 0; i < *train; i++ {
-		rang := float64(*size) / 64 * float64(int(2)<<uint(i%6))
-		f, err := lossycorr.GenerateGaussian(lossycorr.GaussianParams{
-			Rows: *size, Cols: *size, Range: rang, Seed: *seed + uint64(i),
-		})
-		if err != nil {
+	var target *lossycorr.Field
+	var err error
+	if *in != "" {
+		if target, err = readField(*in); err != nil {
 			return err
 		}
-		fields = append(fields, f)
-		labels = append(labels, rang)
 	}
-	ms, err := lossycorr.MeasureFields("train", fields, labels, lossycorr.MeasureOptions{
+	rank := *ndim
+	if rank == 0 {
+		rank = 2
+		if target != nil {
+			rank = target.NDim()
+		}
+	}
+	if rank != 2 && rank != 3 {
+		return fmt.Errorf("-ndim must be 2 or 3, got %d", rank)
+	}
+	if target != nil && target.NDim() != rank {
+		return fmt.Errorf("-in is rank %d but -ndim asked for %d", target.NDim(), rank)
+	}
+	edge := *size
+	if edge == 0 {
+		edge = 128
+		if rank == 3 {
+			edge = 24
+		}
+	}
+
+	var fields []*lossycorr.Field
+	var labels []float64
+	for i := 0; i < *train; i++ {
+		if rank == 2 {
+			rang := float64(edge) / 64 * float64(int(2)<<uint(i%6))
+			f, err := lossycorr.GenerateGaussian(lossycorr.GaussianParams{
+				Rows: edge, Cols: edge, Range: rang, Seed: *seed + uint64(i),
+			})
+			if err != nil {
+				return err
+			}
+			fields = append(fields, lossycorr.FieldFromGrid(f))
+			labels = append(labels, rang)
+		} else {
+			rang := float64(edge) / 16 * float64(int(1)<<uint(i%3))
+			v, err := lossycorr.GenerateGaussian3D(lossycorr.Gaussian3DParams{
+				Nz: edge, Ny: edge, Nx: edge, Range: rang, Seed: *seed + uint64(i),
+			})
+			if err != nil {
+				return err
+			}
+			fields = append(fields, lossycorr.FieldFromVolume(v))
+			labels = append(labels, rang)
+		}
+	}
+	ms, err := lossycorr.MeasureFieldSet("train", fields, labels, lossycorr.MeasureOptions{
 		Analysis:    lossycorr.AnalysisOptions{SkipLocal: true},
 		ErrorBounds: []float64{*eb},
 		Workers:     *workers,
@@ -303,14 +424,10 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	fmt.Println("trained models:", strings.Join(p.Models(), " "))
-	target := fields[len(fields)-1]
-	if *in != "" {
-		target, err = readField(*in)
-		if err != nil {
-			return err
-		}
+	if target == nil {
+		target = fields[len(fields)-1]
 	}
-	stats, err := lossycorr.Analyze(target, lossycorr.AnalysisOptions{SkipLocal: true})
+	stats, err := lossycorr.AnalyzeField(target, lossycorr.AnalysisOptions{SkipLocal: true})
 	if err != nil {
 		return err
 	}
@@ -320,7 +437,7 @@ func cmdPredict(args []string) error {
 	}
 	fmt.Printf("estimated range %.3f → selected %s (predicted CR %.2f)\n",
 		stats.GlobalRange, sel.Compressor, sel.Predicted)
-	res, err := lossycorr.Measure(sel.Compressor, target, *eb)
+	res, err := lossycorr.MeasureField(sel.Compressor, target, *eb)
 	if err != nil {
 		return err
 	}

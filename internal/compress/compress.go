@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 )
 
@@ -36,41 +37,10 @@ type Result struct {
 	BoundOK        bool
 }
 
-// Run compresses, decompresses, and measures g with c at absErr.
+// Run compresses, decompresses, and measures g with c at absErr — the
+// rank-2 view of RunField.
 func Run(c Compressor, g *grid.Grid, absErr float64) (Result, error) {
-	if absErr <= 0 {
-		return Result{}, fmt.Errorf("compress: non-positive error bound %v", absErr)
-	}
-	data, err := c.Compress(g, absErr)
-	if err != nil {
-		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
-	}
-	dec, err := c.Decompress(data)
-	if err != nil {
-		return Result{}, fmt.Errorf("compress: %s decode: %w", c.Name(), err)
-	}
-	maxErr, err := g.MaxAbsDiff(dec)
-	if err != nil {
-		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
-	}
-	mse, err := g.MSE(dec)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		Compressor:     c.Name(),
-		ErrorBound:     absErr,
-		OriginalSize:   g.SizeBytes(),
-		CompressedSize: len(data),
-		MaxAbsError:    maxErr,
-		MSE:            mse,
-		PSNR:           PSNR(g, mse),
-		BoundOK:        maxErr <= absErr*(1+1e-12),
-	}
-	if len(data) > 0 {
-		res.Ratio = float64(res.OriginalSize) / float64(len(data))
-	}
-	return res, nil
+	return RunField(WrapGrid(c), field.FromGrid(g), absErr)
 }
 
 // RunRelative measures g under a value-range-relative error bound: the
@@ -78,15 +48,7 @@ func Run(c Compressor, g *grid.Grid, absErr float64) (Result, error) {
 // notes the formal equivalence between the absolute mode and this mode
 // (used natively by SZ); constant fields fall back to relErr itself.
 func RunRelative(c Compressor, g *grid.Grid, relErr float64) (Result, error) {
-	if relErr <= 0 {
-		return Result{}, fmt.Errorf("compress: non-positive relative bound %v", relErr)
-	}
-	vr := g.Summary().ValueRange
-	abs := relErr * vr
-	if abs == 0 {
-		abs = relErr
-	}
-	return Run(c, g, abs)
+	return RunRelativeField(WrapGrid(c), field.FromGrid(g), relErr)
 }
 
 // PSNR computes the peak signal-to-noise ratio in dB using the field's
@@ -103,26 +65,50 @@ func PSNR(g *grid.Grid, mse float64) float64 {
 	return 20*math.Log10(vr) - 10*math.Log10(mse)
 }
 
-// Registry holds named compressors for CLI and experiment lookup.
+// Registry holds named compressors for CLI and experiment lookup. It
+// is dimension-aware: every entry is a FieldCompressor with a declared
+// set of supported ranks, and lookups can be filtered by the rank of
+// the field being measured. Plain 2D codecs register through Register
+// (auto-wrapped) and stay visible through the historical 2D accessors.
 type Registry struct {
-	byName map[string]Compressor
+	byName map[string]Compressor      // 2D codecs, as registered
+	fields map[string]FieldCompressor // every codec, rank-generic view
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]Compressor)}
+	return &Registry{
+		byName: make(map[string]Compressor),
+		fields: make(map[string]FieldCompressor),
+	}
 }
 
-// Register adds c; registering a duplicate name is an error.
+// Register adds a 2D codec; registering a duplicate name is an error.
 func (r *Registry) Register(c Compressor) error {
-	if _, dup := r.byName[c.Name()]; dup {
-		return fmt.Errorf("compress: duplicate compressor %q", c.Name())
+	if err := r.RegisterField(WrapGrid(c)); err != nil {
+		return err
 	}
 	r.byName[c.Name()] = c
 	return nil
 }
 
-// Get looks a compressor up by name.
+// RegisterField adds a rank-generic codec; registering a duplicate
+// name is an error.
+func (r *Registry) RegisterField(c FieldCompressor) error {
+	if _, dup := r.fields[c.Name()]; dup {
+		return fmt.Errorf("compress: duplicate compressor %q", c.Name())
+	}
+	r.fields[c.Name()] = c
+	return nil
+}
+
+// RegisterVolume adds a native 3D codec (wrapped to rank {3});
+// registering a duplicate name is an error.
+func (r *Registry) RegisterVolume(c VolumeCompressor) error {
+	return r.RegisterField(WrapVolume(c))
+}
+
+// Get looks a 2D compressor up by name.
 func (r *Registry) Get(name string) (Compressor, error) {
 	c, ok := r.byName[name]
 	if !ok {
@@ -131,7 +117,30 @@ func (r *Registry) Get(name string) (Compressor, error) {
 	return c, nil
 }
 
-// Names lists registered compressors in sorted order.
+// GetField looks any registered codec up by name.
+func (r *Registry) GetField(name string) (FieldCompressor, error) {
+	c, ok := r.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown compressor %q (have %v)", name, r.NamesFor(0))
+	}
+	return c, nil
+}
+
+// GetFor looks a codec up by name and checks it accepts fields of the
+// given rank.
+func (r *Registry) GetFor(name string, ndim int) (FieldCompressor, error) {
+	c, err := r.GetField(name)
+	if err != nil {
+		return nil, err
+	}
+	if !SupportsRank(c, ndim) {
+		return nil, fmt.Errorf("compress: %q does not accept rank-%d fields (%d-D codecs: %v)",
+			name, ndim, ndim, r.NamesFor(ndim))
+	}
+	return c, nil
+}
+
+// Names lists registered 2D compressors in sorted order.
 func (r *Registry) Names() []string {
 	out := make([]string, 0, len(r.byName))
 	for n := range r.byName {
@@ -141,11 +150,35 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// All returns the compressors in name order.
+// NamesFor lists the codecs accepting the given rank in sorted order;
+// rank 0 lists every codec.
+func (r *Registry) NamesFor(ndim int) []string {
+	out := make([]string, 0, len(r.fields))
+	for n, c := range r.fields {
+		if ndim == 0 || SupportsRank(c, ndim) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the 2D compressors in name order.
 func (r *Registry) All() []Compressor {
 	out := make([]Compressor, 0, len(r.byName))
 	for _, n := range r.Names() {
 		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// AllFor returns the codecs accepting the given rank in name order,
+// the set MeasureFields sweeps for a field of that rank.
+func (r *Registry) AllFor(ndim int) []FieldCompressor {
+	names := r.NamesFor(ndim)
+	out := make([]FieldCompressor, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.fields[n])
 	}
 	return out
 }

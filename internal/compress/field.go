@@ -1,0 +1,160 @@
+package compress
+
+// Dimension-aware compression. FieldCompressor is the rank-generic
+// codec interface the measurement pipeline runs on; existing 2D codecs
+// and 3D volume codecs plug in through O(1) adapters, and the Registry
+// serves lookups filtered by the rank of the field being measured.
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/grid"
+)
+
+// FieldCompressor is an error-bounded lossy compressor for dense
+// fields. CompressField must guarantee max|x−x̂| <= absErr for every
+// element of any field whose rank it supports.
+type FieldCompressor interface {
+	// Name identifies the compressor in experiment output.
+	Name() string
+	// Ranks lists the field ranks the codec accepts (e.g. {2} or {3}).
+	Ranks() []int
+	// CompressField encodes f under the absolute error bound absErr.
+	CompressField(f *field.Field, absErr float64) ([]byte, error)
+	// DecompressField reconstructs the field from CompressField's output.
+	DecompressField(data []byte) (*field.Field, error)
+}
+
+// VolumeCompressor is the shape of a native 3D codec
+// (szlike.Compressor3D and friends); WrapVolume adapts it to
+// FieldCompressor.
+type VolumeCompressor interface {
+	Name() string
+	Compress(v *grid.Volume, absErr float64) ([]byte, error)
+	Decompress(data []byte) (*grid.Volume, error)
+}
+
+// SupportsRank reports whether c accepts fields of the given rank.
+func SupportsRank(c FieldCompressor, ndim int) bool {
+	for _, r := range c.Ranks() {
+		if r == ndim {
+			return true
+		}
+	}
+	return false
+}
+
+type gridAdapter struct{ c Compressor }
+
+func (a gridAdapter) Name() string { return a.c.Name() }
+func (a gridAdapter) Ranks() []int { return []int{2} }
+
+func (a gridAdapter) CompressField(f *field.Field, absErr float64) ([]byte, error) {
+	g, err := f.AsGrid()
+	if err != nil {
+		return nil, err
+	}
+	return a.c.Compress(g, absErr)
+}
+
+func (a gridAdapter) DecompressField(data []byte) (*field.Field, error) {
+	g, err := a.c.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return field.FromGrid(g), nil
+}
+
+// WrapGrid adapts a 2D codec to the rank-generic interface (rank {2}).
+func WrapGrid(c Compressor) FieldCompressor { return gridAdapter{c} }
+
+type volumeAdapter struct{ c VolumeCompressor }
+
+func (a volumeAdapter) Name() string { return a.c.Name() }
+func (a volumeAdapter) Ranks() []int { return []int{3} }
+
+func (a volumeAdapter) CompressField(f *field.Field, absErr float64) ([]byte, error) {
+	v, err := f.AsVolume()
+	if err != nil {
+		return nil, err
+	}
+	return a.c.Compress(v, absErr)
+}
+
+func (a volumeAdapter) DecompressField(data []byte) (*field.Field, error) {
+	v, err := a.c.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return field.FromVolume(v), nil
+}
+
+// WrapVolume adapts a 3D codec to the rank-generic interface (rank {3}).
+func WrapVolume(c VolumeCompressor) FieldCompressor { return volumeAdapter{c} }
+
+// RunField compresses, decompresses, and measures f with c at absErr —
+// the rank-generic measurement harness behind Run.
+func RunField(c FieldCompressor, f *field.Field, absErr float64) (Result, error) {
+	if absErr <= 0 {
+		return Result{}, fmt.Errorf("compress: non-positive error bound %v", absErr)
+	}
+	data, err := c.CompressField(f, absErr)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
+	}
+	dec, err := c.DecompressField(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s decode: %w", c.Name(), err)
+	}
+	maxErr, err := f.MaxAbsDiff(dec)
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: %s: %w", c.Name(), err)
+	}
+	mse, err := f.MSE(dec)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Compressor:     c.Name(),
+		ErrorBound:     absErr,
+		OriginalSize:   f.SizeBytes(),
+		CompressedSize: len(data),
+		MaxAbsError:    maxErr,
+		MSE:            mse,
+		PSNR:           PSNRField(f, mse),
+		BoundOK:        maxErr <= absErr*(1+1e-12),
+	}
+	if len(data) > 0 {
+		res.Ratio = float64(res.OriginalSize) / float64(len(data))
+	}
+	return res, nil
+}
+
+// RunRelativeField measures f under a value-range-relative error
+// bound, the rank-generic form of RunRelative.
+func RunRelativeField(c FieldCompressor, f *field.Field, relErr float64) (Result, error) {
+	if relErr <= 0 {
+		return Result{}, fmt.Errorf("compress: non-positive relative bound %v", relErr)
+	}
+	vr := f.Summary().ValueRange
+	abs := relErr * vr
+	if abs == 0 {
+		abs = relErr
+	}
+	return RunField(c, f, abs)
+}
+
+// PSNRField computes the peak signal-to-noise ratio in dB using the
+// field's value range as peak (+Inf for a perfect reconstruction).
+func PSNRField(f *field.Field, mse float64) float64 {
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	vr := f.Summary().ValueRange
+	if vr == 0 {
+		return 0
+	}
+	return 20*math.Log10(vr) - 10*math.Log10(mse)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"lossycorr/internal/compress"
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/mgardlike"
 	"lossycorr/internal/parallel"
@@ -38,6 +39,11 @@ type AnalysisOptions struct {
 	VariogramOpts    variogram.Options // empirical variogram controls
 	VarianceFraction float64           // SVD threshold; 0 means 0.99
 	SkipLocal        bool              // global range only (cheaper)
+	// SVDGram selects svdstat's Gram-matrix fast path for the local
+	// SVD statistic (levels from the AᵀA/AAᵀ eigenproblem; agrees with
+	// the default path up to eigensolver roundoff at the truncation
+	// threshold). Off by default to keep historical values bit-stable.
+	SVDGram bool
 	// Workers sizes each worker pool of the analysis rather than capping
 	// total goroutines: the three statistics run concurrently on one
 	// pool and each windowed statistic fans its windows out over its
@@ -58,14 +64,21 @@ func (o AnalysisOptions) withDefaults() AnalysisOptions {
 	return o
 }
 
-// Analyze extracts the correlation statistics of a field. The three
-// statistics (global variogram range, local variogram-range std, local
-// SVD-truncation std) are independent and run concurrently on the
-// shared worker pool; each windowed statistic additionally fans its
-// windows out over the same pool. Error precedence is fixed (global,
-// then local variogram, then local SVD) so failures are reported
-// identically at any worker count.
+// Analyze extracts the correlation statistics of a 2D field — the
+// rank-2 view of AnalyzeField.
 func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
+	return AnalyzeField(field.FromGrid(g), opts)
+}
+
+// AnalyzeField extracts the correlation statistics of a field of any
+// rank (H×H windows for grids, H×H×H windows for volumes; the SVD
+// statistic unfolds higher-rank windows along their first extent). The
+// three statistics are independent and run concurrently on the shared
+// worker pool; each windowed statistic additionally fans its windows
+// out over the same pool. Error precedence is fixed (global, then
+// local variogram, then local SVD) so failures are reported
+// identically at any worker count.
+func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
 	o := opts.withDefaults()
 	vOpts := o.VariogramOpts
 	if vOpts.Workers == 0 {
@@ -73,7 +86,7 @@ func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
 	}
 	var s Statistics
 	if o.SkipLocal {
-		m, err := variogram.GlobalRange(g, vOpts)
+		m, err := variogram.GlobalRangeField(f, vOpts)
 		if err != nil {
 			return s, fmt.Errorf("core: global variogram: %w", err)
 		}
@@ -86,11 +99,11 @@ func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
 		gErr, localErr, svErr error
 	)
 	parallel.Do(o.Workers,
-		func() { model, gErr = variogram.GlobalRange(g, vOpts) },
-		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStd(g, o.Window, vOpts) },
+		func() { model, gErr = variogram.GlobalRangeField(f, vOpts) },
+		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStdField(f, o.Window, vOpts) },
 		func() {
-			s.LocalSVDStd, svErr = svdstat.LocalStdWith(g, o.Window, svdstat.Options{
-				Frac: o.VarianceFraction, Workers: o.Workers,
+			s.LocalSVDStd, svErr = svdstat.LocalStdField(f, o.Window, svdstat.Options{
+				Frac: o.VarianceFraction, Workers: o.Workers, Gram: o.SVDGram,
 			})
 		},
 	)
@@ -108,13 +121,16 @@ func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
 	return s, nil
 }
 
-// DefaultRegistry returns the three compressors of the study.
+// DefaultRegistry returns the compressors of the study: the paper's
+// three 2D codecs plus their 3D extensions, dispatched by field rank.
 func DefaultRegistry() *compress.Registry {
 	r := compress.NewRegistry()
 	// Registration of the built-in codecs cannot collide.
 	_ = r.Register(szlike.Compressor{})
 	_ = r.Register(zfplike.Compressor{})
 	_ = r.Register(mgardlike.Compressor{})
+	_ = r.RegisterVolume(szlike.Compressor3D{})
+	_ = r.RegisterVolume(zfplike.Compressor3D{})
 	return r
 }
 
@@ -138,12 +154,26 @@ type MeasureOptions struct {
 	Workers int
 }
 
-// MeasureFields analyzes and compresses every field with every
-// registered compressor at every error bound, fanning fields out over
-// the shared worker pool. Results keep the input field order; on
-// failure the error of the lowest-indexed failing field is returned,
-// independent of scheduling.
+// MeasureFields analyzes and compresses every 2D field — the rank-2
+// view of MeasureFieldSet.
 func MeasureFields(name string, fields []*grid.Grid, labels []float64,
+	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
+
+	fs := make([]*field.Field, len(fields))
+	for i, g := range fields {
+		fs[i] = field.FromGrid(g)
+	}
+	return MeasureFieldSet(name, fs, labels, reg, opts)
+}
+
+// MeasureFieldSet analyzes and compresses every field with every
+// registered compressor accepting its rank, at every error bound,
+// fanning fields out over the shared worker pool. Grids and volumes
+// can be mixed in one set — each field sweeps the codecs of its own
+// rank. Results keep the input field order; on failure the error of
+// the lowest-indexed failing field is returned, independent of
+// scheduling.
+func MeasureFieldSet(name string, fields []*field.Field, labels []float64,
 	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
 
 	ebs := opts.ErrorBounds
@@ -166,7 +196,7 @@ func MeasureFields(name string, fields []*grid.Grid, labels []float64,
 	return out, nil
 }
 
-func measureOne(name string, i int, g *grid.Grid, labels []float64,
+func measureOne(name string, i int, f *field.Field, labels []float64,
 	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions) (Measurement, error) {
 
 	m := Measurement{Dataset: name, Index: i}
@@ -174,13 +204,17 @@ func measureOne(name string, i int, g *grid.Grid, labels []float64,
 		m.Label = labels[i]
 	}
 	var err error
-	m.Stats, err = Analyze(g, aOpts)
+	m.Stats, err = AnalyzeField(f, aOpts)
 	if err != nil {
 		return m, err
 	}
-	for _, c := range reg.All() {
+	codecs := reg.AllFor(f.NDim())
+	if len(codecs) == 0 {
+		return m, fmt.Errorf("core: field %d: no compressors registered for rank %d", i, f.NDim())
+	}
+	for _, c := range codecs {
 		for _, eb := range ebs {
-			res, err := compress.Run(c, g, eb)
+			res, err := compress.RunField(c, f, eb)
 			if err != nil {
 				return m, fmt.Errorf("core: field %d: %w", i, err)
 			}

@@ -5,7 +5,7 @@ import (
 	"math"
 	"sort"
 
-	"lossycorr/internal/grid"
+	"lossycorr/internal/field"
 	"lossycorr/internal/regression"
 )
 
@@ -97,10 +97,10 @@ func (p *Predictor) SelectCompressor(eb float64, stats Statistics) (Selection, e
 	return best, nil
 }
 
-// PredictField is a convenience that analyzes a field and predicts its
-// CR for a compressor and bound in one call.
-func (p *Predictor) PredictField(g *grid.Grid, compressor string, eb float64, opts AnalysisOptions) (float64, error) {
-	stats, err := Analyze(g, opts)
+// PredictField is a convenience that analyzes a field of any rank and
+// predicts its CR for a compressor and bound in one call.
+func (p *Predictor) PredictField(f *field.Field, compressor string, eb float64, opts AnalysisOptions) (float64, error) {
+	stats, err := AnalyzeField(f, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lossycorr/internal/compress"
+	"lossycorr/internal/field"
 )
 
 func syntheticMeasurements() []Measurement {
@@ -93,7 +94,7 @@ func TestPredictFieldEndToEnd(t *testing.T) {
 	var train []Measurement
 	for i, rang := range []float64{4, 8, 16, 32} {
 		g := smallField(t, rang, uint64(30+i))
-		m, err := measureOne("train", i, g, nil, DefaultRegistry(),
+		m, err := measureOne("train", i, field.FromGrid(g), nil, DefaultRegistry(),
 			[]float64{1e-3}, AnalysisOptions{SkipLocal: true})
 		if err != nil {
 			t.Fatal(err)
@@ -105,7 +106,7 @@ func TestPredictFieldEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := smallField(t, 12, 20)
-	pred, err := p.PredictField(f, "sz-like", 1e-3, AnalysisOptions{SkipLocal: true})
+	pred, err := p.PredictField(field.FromGrid(f), "sz-like", 1e-3, AnalysisOptions{SkipLocal: true})
 	if err != nil {
 		t.Fatal(err)
 	}

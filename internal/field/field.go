@@ -1,0 +1,429 @@
+// Package field provides the dimension-generic dense scalar field the
+// analysis pipeline is built on: one contiguous row-major array plus a
+// shape, viewable as a 2D grid or a 3D volume without copying. The
+// statistics, codec, and orchestration layers operate on *Field, so a
+// windowed statistic or a registry lookup is written once and works for
+// any rank.
+//
+// Layout matches the existing containers exactly: the last dimension
+// varies fastest, so a rank-2 field shares its Data slice with a
+// grid.Grid (row-major) and a rank-3 field with a grid.Volume (x
+// fastest, Miranda's (nz, ny, nx) slab order). Conversions are O(1)
+// views, not copies, which is what keeps the generic pipeline
+// bit-identical to the historical 2D one.
+package field
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lossycorr/internal/grid"
+)
+
+// Field is a dense scalar field of arbitrary rank. Shape lists the
+// extents slowest-varying first; element (i_0, …, i_{d-1}) lives at
+// Data[((i_0·Shape[1]+i_1)·Shape[2]+i_2)·…]. The zero value is an
+// empty rank-0 field.
+type Field struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled field with the given shape.
+func New(shape ...int) *Field {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("field: negative dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	return &Field{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromData wraps an existing flat slice; it does not copy. The slice
+// length must equal the product of the shape.
+func FromData(shape []int, data []float64) (*Field, error) {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			return nil, fmt.Errorf("field: negative dimension in shape %v", shape)
+		}
+		n *= s
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("field: data length %d != product of shape %v", len(data), shape)
+	}
+	return &Field{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// FromGrid views a 2D grid as a rank-2 field, sharing its data.
+func FromGrid(g *grid.Grid) *Field {
+	return &Field{Shape: []int{g.Rows, g.Cols}, Data: g.Data}
+}
+
+// FromVolume views a 3D volume as a rank-3 field, sharing its data.
+func FromVolume(v *grid.Volume) *Field {
+	return &Field{Shape: []int{v.Nz, v.Ny, v.Nx}, Data: v.Data}
+}
+
+// AsGrid views a rank-2 field as a grid, sharing its data.
+func (f *Field) AsGrid() (*grid.Grid, error) {
+	if len(f.Shape) != 2 {
+		return nil, fmt.Errorf("field: rank-%d field is not a 2D grid", len(f.Shape))
+	}
+	return &grid.Grid{Rows: f.Shape[0], Cols: f.Shape[1], Data: f.Data}, nil
+}
+
+// AsVolume views a rank-3 field as a volume, sharing its data.
+func (f *Field) AsVolume() (*grid.Volume, error) {
+	if len(f.Shape) != 3 {
+		return nil, fmt.Errorf("field: rank-%d field is not a 3D volume", len(f.Shape))
+	}
+	return &grid.Volume{Nz: f.Shape[0], Ny: f.Shape[1], Nx: f.Shape[2], Data: f.Data}, nil
+}
+
+// NDim returns the rank.
+func (f *Field) NDim() int { return len(f.Shape) }
+
+// Len returns the number of elements.
+func (f *Field) Len() int {
+	n := 1
+	for _, s := range f.Shape {
+		n *= s
+	}
+	return n
+}
+
+// SizeBytes returns the uncompressed size in bytes (8 per element).
+func (f *Field) SizeBytes() int { return f.Len() * 8 }
+
+// MinDim returns the smallest extent (0 for a rank-0 field).
+func (f *Field) MinDim() int {
+	if len(f.Shape) == 0 {
+		return 0
+	}
+	m := f.Shape[0]
+	for _, s := range f.Shape[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Strides returns the element stride of each dimension (last is 1).
+func (f *Field) Strides() []int {
+	d := len(f.Shape)
+	st := make([]int, d)
+	acc := 1
+	for k := d - 1; k >= 0; k-- {
+		st[k] = acc
+		acc *= f.Shape[k]
+	}
+	return st
+}
+
+// At returns the element at the given index tuple.
+func (f *Field) At(idx ...int) float64 {
+	return f.Data[f.flatIndex(idx)]
+}
+
+// Set assigns the element at the given index tuple.
+func (f *Field) Set(v float64, idx ...int) {
+	f.Data[f.flatIndex(idx)] = v
+}
+
+func (f *Field) flatIndex(idx []int) int {
+	if len(idx) != len(f.Shape) {
+		panic(fmt.Sprintf("field: index rank %d != field rank %d", len(idx), len(f.Shape)))
+	}
+	flat := 0
+	for k, i := range idx {
+		flat = flat*f.Shape[k] + i
+	}
+	return flat
+}
+
+// Clone returns a deep copy.
+func (f *Field) Clone() *Field {
+	out := &Field{Shape: append([]int(nil), f.Shape...), Data: make([]float64, len(f.Data))}
+	copy(out.Data, f.Data)
+	return out
+}
+
+// Summary computes min/max/mean/variance in one pass (Welford), with
+// arithmetic identical to (*grid.Grid).Summary so statistics computed
+// through the field layer reproduce the historical 2D values bitwise.
+func (f *Field) Summary() grid.Stats {
+	s := grid.Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(f.Data) == 0 {
+		return grid.Stats{}
+	}
+	var mean, m2 float64
+	for i, v := range f.Data {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+	}
+	s.Mean = mean
+	s.Variance = m2 / float64(len(f.Data))
+	s.ValueRange = s.Max - s.Min
+	return s
+}
+
+// SameShape reports whether two fields agree in rank and extents.
+func (f *Field) SameShape(o *Field) bool {
+	if len(f.Shape) != len(o.Shape) {
+		return false
+	}
+	for k := range f.Shape {
+		if f.Shape[k] != o.Shape[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns max|f-o| over all elements; shapes must agree.
+func (f *Field) MaxAbsDiff(o *Field) (float64, error) {
+	if !f.SameShape(o) {
+		return 0, fmt.Errorf("field: shape mismatch %v vs %v", f.Shape, o.Shape)
+	}
+	var m float64
+	for i := range f.Data {
+		d := math.Abs(f.Data[i] - o.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error between two equally shaped fields.
+func (f *Field) MSE(o *Field) (float64, error) {
+	if !f.SameShape(o) {
+		return 0, fmt.Errorf("field: shape mismatch %v vs %v", f.Shape, o.Shape)
+	}
+	if len(f.Data) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range f.Data {
+		d := f.Data[i] - o.Data[i]
+		sum += d * d
+	}
+	return sum / float64(len(f.Data)), nil
+}
+
+// Window copies the hypercube with the given origin corner and edge h,
+// clipped to the field, so callers tiling a non-multiple field receive
+// ragged edge windows — the rank-generic form of (*grid.Grid).Window.
+func (f *Field) Window(origin []int, h int) *Field {
+	d := len(f.Shape)
+	if len(origin) != d {
+		panic(fmt.Sprintf("field: window origin rank %d != field rank %d", len(origin), d))
+	}
+	ext := make([]int, d)
+	for k := range origin {
+		if origin[k] < 0 || origin[k] >= f.Shape[k] {
+			panic(fmt.Sprintf("field: window origin %v outside shape %v", origin, f.Shape))
+		}
+		ext[k] = h
+		if origin[k]+h > f.Shape[k] {
+			ext[k] = f.Shape[k] - origin[k]
+		}
+	}
+	w := New(ext...)
+	if w.Len() == 0 {
+		return w
+	}
+	st := f.Strides()
+	// Copy one contiguous run of the last dimension at a time, walking
+	// the outer dimensions with an odometer.
+	outer := make([]int, d-1)
+	for {
+		src := origin[d-1]
+		dst := 0
+		for k := 0; k < d-1; k++ {
+			src += (origin[k] + outer[k]) * st[k]
+			dst = dst*ext[k] + outer[k]
+		}
+		dst *= ext[d-1]
+		copy(w.Data[dst:dst+ext[d-1]], f.Data[src:src+ext[d-1]])
+		k := d - 2
+		for ; k >= 0; k-- {
+			outer[k]++
+			if outer[k] < ext[k] {
+				break
+			}
+			outer[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return w
+}
+
+// TileOrigins returns the origin corner of every h-edged tile covering
+// the field in lexicographic (slowest-dimension-first) order — for a
+// rank-2 field, exactly the order (*grid.Grid).TileOrigins visits.
+func (f *Field) TileOrigins(h int) [][]int {
+	if h <= 0 {
+		panic("field: non-positive tile size")
+	}
+	d := len(f.Shape)
+	if d == 0 || f.Len() == 0 {
+		return nil
+	}
+	origins := make([][]int, 0, f.NumTiles(h))
+	cur := make([]int, d)
+	for {
+		origins = append(origins, append([]int(nil), cur...))
+		k := d - 1
+		for ; k >= 0; k-- {
+			cur[k] += h
+			if cur[k] < f.Shape[k] {
+				break
+			}
+			cur[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return origins
+}
+
+// NumTiles returns how many h-edged tiles (including clipped edge
+// tiles) cover the field.
+func (f *Field) NumTiles(h int) int {
+	n := 1
+	for _, s := range f.Shape {
+		n *= (s + h - 1) / h
+	}
+	return n
+}
+
+// Binary format. Rank-2 fields use the legacy grid layout (two uint32
+// dimensions + float64 payload, little endian) so files written by
+// either layer stay interchangeable. Other ranks use a tagged layout:
+// the magic "LCF1", a uint32 rank, the uint32 extents, then the
+// payload. ReadBinary sniffs the magic and accepts both.
+
+var magic = [4]byte{'L', 'C', 'F', '1'}
+
+const maxElems = 1 << 30
+
+// WriteBinary writes the field in the format described above.
+func (f *Field) WriteBinary(w io.Writer) error {
+	if len(f.Shape) == 2 {
+		g, err := f.AsGrid()
+		if err != nil {
+			return err
+		}
+		return g.WriteBinary(w)
+	}
+	hdr := make([]byte, 8+4*len(f.Shape))
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(f.Shape)))
+	for k, s := range f.Shape {
+		binary.LittleEndian.PutUint32(hdr[8+4*k:], uint32(s))
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(f.Data); off += 4096 {
+		end := off + 4096
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		chunk := f.Data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf[:8*len(chunk)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary reads a field written by WriteBinary or by
+// (*grid.Grid).WriteBinary, detecting the layout from the header.
+func ReadBinary(r io.Reader) (*Field, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("field: short header: %w", err)
+	}
+	if hdr[0] == magic[0] && hdr[1] == magic[1] && hdr[2] == magic[2] && hdr[3] == magic[3] {
+		d := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if d < 1 || d > 8 {
+			return nil, fmt.Errorf("field: unreasonable rank %d", d)
+		}
+		dims := make([]byte, 4*d)
+		if _, err := io.ReadFull(r, dims); err != nil {
+			return nil, fmt.Errorf("field: short shape: %w", err)
+		}
+		shape := make([]int, d)
+		n := 1
+		for k := range shape {
+			shape[k] = int(binary.LittleEndian.Uint32(dims[4*k:]))
+			// Per-extent and running-product caps keep n far from int64
+			// overflow, so a crafted header errors instead of panicking.
+			if shape[k] < 0 || shape[k] > maxElems {
+				return nil, fmt.Errorf("field: unreasonable extent in %v", shape[:k+1])
+			}
+			n *= shape[k]
+			if n > maxElems {
+				return nil, fmt.Errorf("field: unreasonable shape %v", shape[:k+1])
+			}
+		}
+		f := New(shape...)
+		if err := readPayload(r, f.Data); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	// Legacy 2D layout: the 8 bytes already read are the dimensions.
+	// Bounding each dimension before multiplying keeps the product from
+	// wrapping int64.
+	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if rows < 0 || cols < 0 || rows > maxElems || cols > maxElems || rows*cols > maxElems {
+		return nil, fmt.Errorf("field: unreasonable dimensions %dx%d", rows, cols)
+	}
+	f := New(rows, cols)
+	if err := readPayload(r, f.Data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func readPayload(r io.Reader, data []float64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(data); off += 4096 {
+		end := off + 4096
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		if _, err := io.ReadFull(r, buf[:8*len(chunk)]); err != nil {
+			return fmt.Errorf("field: short body: %w", err)
+		}
+		for i := range chunk {
+			chunk[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return nil
+}

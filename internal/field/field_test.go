@@ -1,0 +1,237 @@
+package field
+
+import (
+	"bytes"
+	"testing"
+
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func random2D(rows, cols int, seed uint64) *grid.Grid {
+	rng := xrand.New(seed)
+	g := grid.New(rows, cols)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+func TestViewsShareData(t *testing.T) {
+	g := random2D(6, 7, 1)
+	f := FromGrid(g)
+	f.Data[3] = 42
+	if g.Data[3] != 42 {
+		t.Fatal("FromGrid copied instead of sharing")
+	}
+	back, err := f.AsGrid()
+	if err != nil || back.Rows != 6 || back.Cols != 7 {
+		t.Fatalf("AsGrid: %v %+v", err, back)
+	}
+	v := grid.NewVolume(2, 3, 4)
+	fv := FromVolume(v)
+	if fv.NDim() != 3 || fv.Len() != 24 {
+		t.Fatalf("FromVolume shape %v", fv.Shape)
+	}
+	if _, err := fv.AsGrid(); err == nil {
+		t.Fatal("rank-3 field must not view as grid")
+	}
+	if _, err := f.AsVolume(); err == nil {
+		t.Fatal("rank-2 field must not view as volume")
+	}
+}
+
+// TestSummaryMatchesGridBitwise pins the claim every statistic relies
+// on: field summaries reproduce grid summaries exactly.
+func TestSummaryMatchesGridBitwise(t *testing.T) {
+	g := random2D(33, 57, 9)
+	sg, sf := g.Summary(), FromGrid(g).Summary()
+	if sg != sf {
+		t.Fatalf("summary mismatch: %+v vs %+v", sg, sf)
+	}
+}
+
+// TestWindowMatchesGridWindow checks rank-2 window extraction equals
+// the grid implementation, including clipped edge windows.
+func TestWindowMatchesGridWindow(t *testing.T) {
+	g := random2D(20, 14, 3)
+	f := FromGrid(g)
+	for _, o := range [][2]int{{0, 0}, {8, 8}, {16, 8}, {19, 13}} {
+		wg := g.Window(o[0], o[1], 8, 8)
+		wf := f.Window([]int{o[0], o[1]}, 8)
+		if wf.Shape[0] != wg.Rows || wf.Shape[1] != wg.Cols {
+			t.Fatalf("origin %v: shape %v vs %dx%d", o, wf.Shape, wg.Rows, wg.Cols)
+		}
+		for i := range wg.Data {
+			if wf.Data[i] != wg.Data[i] {
+				t.Fatalf("origin %v element %d differs", o, i)
+			}
+		}
+	}
+}
+
+func TestWindow3D(t *testing.T) {
+	v := grid.NewVolume(5, 6, 7)
+	for i := range v.Data {
+		v.Data[i] = float64(i)
+	}
+	w := FromVolume(v).Window([]int{1, 2, 3}, 3)
+	if w.Shape[0] != 3 || w.Shape[1] != 3 || w.Shape[2] != 3 {
+		t.Fatalf("shape %v", w.Shape)
+	}
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				if got, want := w.At(z, y, x), v.At(1+z, 2+y, 3+x); got != want {
+					t.Fatalf("(%d,%d,%d): %v want %v", z, y, x, got, want)
+				}
+			}
+		}
+	}
+	// clipped at the far corner
+	c := FromVolume(v).Window([]int{4, 5, 6}, 3)
+	if c.Shape[0] != 1 || c.Shape[1] != 1 || c.Shape[2] != 1 {
+		t.Fatalf("clipped shape %v", c.Shape)
+	}
+}
+
+func TestTileOriginsMatchGrid(t *testing.T) {
+	g := random2D(70, 50, 4)
+	f := FromGrid(g)
+	want := g.TileOrigins(32)
+	got := f.TileOrigins(32)
+	if len(got) != len(want) || len(got) != f.NumTiles(32) {
+		t.Fatalf("%d origins, want %d (NumTiles %d)", len(got), len(want), f.NumTiles(32))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("origin %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTileOrigins3DOrder(t *testing.T) {
+	f := New(4, 4, 4)
+	got := f.TileOrigins(4)
+	if len(got) != 1 || got[0][0] != 0 {
+		t.Fatalf("single tile expected, got %v", got)
+	}
+	f = New(8, 4, 8)
+	origins := f.TileOrigins(4)
+	want := [][]int{{0, 0, 0}, {0, 0, 4}, {4, 0, 0}, {4, 0, 4}}
+	if len(origins) != len(want) {
+		t.Fatalf("%d origins want %d", len(origins), len(want))
+	}
+	for i := range want {
+		for k := range want[i] {
+			if origins[i][k] != want[i][k] {
+				t.Fatalf("origin %d: %v want %v", i, origins[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBinaryRoundtripTagged(t *testing.T) {
+	f := New(3, 4, 5)
+	rng := xrand.New(7)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(f) {
+		t.Fatalf("shape %v want %v", got.Shape, f.Shape)
+	}
+	for i := range f.Data {
+		if got.Data[i] != f.Data[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+// TestBinaryLegacyInterop checks both directions of 2D compatibility:
+// grid-written files read back as fields, and field-written rank-2
+// files read back through grid.ReadBinary.
+func TestBinaryLegacyInterop(t *testing.T) {
+	g := random2D(9, 11, 5)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NDim() != 2 || f.Shape[0] != 9 || f.Shape[1] != 11 {
+		t.Fatalf("shape %v", f.Shape)
+	}
+	for i := range g.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+	buf.Reset()
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := grid.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Rows != 9 || g2.Cols != 11 {
+		t.Fatalf("grid %dx%d", g2.Rows, g2.Cols)
+	}
+}
+
+func TestMaxAbsDiffAndMSE(t *testing.T) {
+	a := New(2, 3, 4)
+	b := New(2, 3, 4)
+	b.Data[5] = 2
+	d, err := a.MaxAbsDiff(b)
+	if err != nil || d != 2 {
+		t.Fatalf("MaxAbsDiff %v %v", d, err)
+	}
+	mse, err := a.MSE(b)
+	if err != nil || mse != 4.0/24 {
+		t.Fatalf("MSE %v %v", mse, err)
+	}
+	if _, err := a.MaxAbsDiff(New(2, 3)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+// TestReadBinaryRejectsOverflowingHeaders feeds headers whose element
+// counts wrap int64; the reader must error, not panic in makeslice.
+func TestReadBinaryRejectsOverflowingHeaders(t *testing.T) {
+	legacy := make([]byte, 8)
+	for i := 0; i < 8; i += 4 {
+		// 3037000500² ≈ 2^63.09 wraps negative in int64.
+		legacy[i], legacy[i+1], legacy[i+2], legacy[i+3] = 0x34, 0x33, 0x05, 0xb5
+	}
+	if _, err := ReadBinary(bytes.NewReader(legacy)); err == nil {
+		t.Fatal("expected error for overflowing legacy dimensions")
+	}
+	tagged := append([]byte{'L', 'C', 'F', '1', 8, 0, 0, 0}, bytes.Repeat([]byte{0xff, 0xff, 0xff, 0x7f}, 8)...)
+	if _, err := ReadBinary(bytes.NewReader(tagged)); err == nil {
+		t.Fatal("expected error for overflowing tagged shape")
+	}
+}
+
+func TestFromDataValidation(t *testing.T) {
+	if _, err := FromData([]int{2, 3}, make([]float64, 5)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	f, err := FromData([]int{2, 3}, make([]float64, 6))
+	if err != nil || f.Len() != 6 || f.SizeBytes() != 48 {
+		t.Fatalf("%v %v", f, err)
+	}
+	if f.MinDim() != 2 {
+		t.Fatalf("MinDim %d", f.MinDim())
+	}
+}

@@ -261,8 +261,10 @@ func ReadBinary(r io.Reader) (*Grid, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
 	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	// Bounding each dimension before multiplying keeps the product from
+	// wrapping int64 on a crafted header.
 	const maxElems = 1 << 30
-	if rows < 0 || cols < 0 || rows*cols > maxElems {
+	if rows < 0 || cols < 0 || rows > maxElems || cols > maxElems || rows*cols > maxElems {
 		return nil, fmt.Errorf("grid: unreasonable dimensions %dx%d", rows, cols)
 	}
 	g := New(rows, cols)

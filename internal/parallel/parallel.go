@@ -17,6 +17,18 @@
 // indices, which keeps windows of a tiled field cache-adjacent and
 // makes the per-index overhead negligible even for sub-microsecond
 // bodies.
+//
+// Total concurrency is bounded globally, not per pool. Pools nest
+// (MeasureFields fans fields out, each field's Analyze fans statistics
+// out, each statistic fans windows out), so per-pool worker counts
+// would multiply. Instead, every pool runs its loop on the calling
+// goroutine and spawns extra workers only while tokens are available
+// from a shared GOMAXPROCS-sized budget. Extra workers are acquired
+// with a non-blocking try, never a wait, so nesting can't deadlock and
+// the number of goroutines executing loop bodies never exceeds
+// GOMAXPROCS plus the callers already in flight. Because results are
+// position-addressed and folds run in index order, the dynamic worker
+// count is invisible in the output.
 package parallel
 
 import (
@@ -29,6 +41,50 @@ import (
 // to grab about this many chunks over a full run, balancing load (more
 // chunks) against contention on the shared counter (fewer chunks).
 const chunksPerWorker = 8
+
+// tokens is the global budget of extra worker goroutines, shared by
+// every pool in the process. Sized to GOMAXPROCS-1 so that one calling
+// goroutine plus a full complement of extras saturates the machine
+// without oversubscribing it.
+var tokens = func() chan struct{} {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	return make(chan struct{}, n)
+}()
+
+// live and peak track the number of extra workers currently running,
+// and the high-water mark, for tests and diagnostics.
+var live, peak atomic.Int64
+
+// acquireToken claims an extra-worker slot if the global budget allows
+// it; it never blocks.
+func acquireToken() bool {
+	select {
+	case tokens <- struct{}{}:
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func releaseToken() {
+	live.Add(-1)
+	<-tokens
+}
+
+// PeakExtraWorkers reports the historical maximum number of extra
+// worker goroutines alive at once — by construction at most
+// GOMAXPROCS-1 at the time they were spawned.
+func PeakExtraWorkers() int64 { return peak.Load() }
 
 // Resolve maps a Workers knob to an effective worker count: values <= 0
 // mean GOMAXPROCS, and the count is clamped to jobs so tiny index
@@ -46,11 +102,14 @@ func Resolve(workers, jobs int) int {
 	return workers
 }
 
-// For runs fn(i) exactly once for every i in [0, n) across at most
-// workers goroutines (workers <= 0 means GOMAXPROCS). With one worker
-// it degenerates to a plain serial loop on the calling goroutine.
-// Invocation order is unspecified; fn must write any results to
-// per-index storage.
+// For runs fn(i) exactly once for every i in [0, n). The loop always
+// runs on the calling goroutine; up to workers-1 extra goroutines join
+// it while the process-wide token budget (GOMAXPROCS-1 extras, shared
+// across nested pools) allows, so total concurrency stays bounded no
+// matter how pools nest. workers <= 0 means GOMAXPROCS; with one
+// worker it degenerates to a plain serial loop on the calling
+// goroutine. Invocation order is unspecified; fn must write any
+// results to per-index storage.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -67,26 +126,36 @@ func For(n, workers int, fn func(i int)) {
 		chunk = 1
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				end := int(next.Add(int64(chunk)))
-				start := end - chunk
-				if start >= n {
-					return
-				}
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
+	run := func() {
+		for {
+			end := int(next.Add(int64(chunk)))
+			start := end - chunk
+			if start >= n {
+				return
 			}
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w-1; g++ {
+		if !acquireToken() {
+			break // global budget exhausted: the caller still makes progress
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				releaseToken()
+				wg.Done()
+			}()
+			run()
 		}()
 	}
+	run()
 	wg.Wait()
 }
 

@@ -74,7 +74,9 @@ func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
 		if w.Rows < 4 || w.Cols < 4 || w.Summary().Variance == 0 {
 			return 0, false, nil
 		}
-		e, err := variogram.Compute(w, variogram.Options{Exact: true})
+		// Workers: 1 — the sampled windows are the parallel axis; the
+		// per-window exact scan must not fan its bins out on top.
+		e, err := variogram.Compute(w, variogram.Options{Exact: true, Workers: 1})
 		if err != nil {
 			return 0, false, err
 		}

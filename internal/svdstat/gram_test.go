@@ -1,0 +1,169 @@
+package svdstat
+
+import (
+	"testing"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/xrand"
+)
+
+func gramRandomGrid(rows, cols int, seed uint64) *grid.Grid {
+	rng := xrand.New(seed)
+	g := grid.New(rows, cols)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+func gramSmoothGrid(rows, cols int) *grid.Grid {
+	return grid.FromFunc(rows, cols, func(r, c int) float64 {
+		return float64(r)*0.3 + float64(c)*0.7 + 0.01*float64(r*c)
+	})
+}
+
+// TestGramMatchesFullSVDLevels is the fast path's equivalence test:
+// over many windows (noisy, smooth, tall, wide, 3D-unfolded shapes)
+// the Gram-eigenvalue levels must match the full-SVD levels. Both
+// paths quantize the same spectrum, so any disagreement would mean an
+// eigensolver deviation far above roundoff; the tolerance allowed here
+// is one level on at most 2 % of windows, and exactness is asserted
+// for the deterministic smooth cases.
+func TestGramMatchesFullSVDLevels(t *testing.T) {
+	type shape struct{ rows, cols int }
+	shapes := []shape{{32, 32}, {16, 48}, {48, 16}, {8, 64}, {32, 1024}}
+	for _, frac := range []float64{0.9, 0.99, 0.999} {
+		var windows, off int
+		for _, sh := range shapes {
+			for seed := uint64(1); seed <= 8; seed++ {
+				g := gramRandomGrid(sh.rows, sh.cols, seed*977)
+				full, err := levelFull(g.Data, sh.rows, sh.cols, g.Summary().Mean, frac)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := levelGram(g.Data, sh.rows, sh.cols, frac)
+				if err != nil {
+					t.Fatal(err)
+				}
+				windows++
+				if full != fast {
+					off++
+					if d := full - fast; d < -1 || d > 1 {
+						t.Fatalf("%dx%d frac=%v seed=%d: gram level %d vs full %d (>1 apart)",
+							sh.rows, sh.cols, frac, seed, fast, full)
+					}
+				}
+			}
+		}
+		if off*50 > windows { // > 2 % disagreement is beyond roundoff
+			t.Fatalf("frac=%v: %d of %d windows disagree", frac, off, windows)
+		}
+	}
+	for _, sh := range shapes[:4] {
+		g := gramSmoothGrid(sh.rows, sh.cols)
+		full, _ := levelFull(g.Data, sh.rows, sh.cols, g.Summary().Mean, 0.99)
+		fast, _ := levelGram(g.Data, sh.rows, sh.cols, 0.99)
+		if full != fast {
+			t.Fatalf("smooth %dx%d: gram level %d != full %d", sh.rows, sh.cols, fast, full)
+		}
+	}
+}
+
+func TestGramConstantWindowZero(t *testing.T) {
+	g := grid.New(16, 16)
+	for i := range g.Data {
+		g.Data[i] = 3.25
+	}
+	k, err := levelGram(g.Data, 16, 16, 0.99)
+	if err != nil || k != 0 {
+		t.Fatalf("constant window: level %d err %v, want 0", k, err)
+	}
+	if _, err := levelGram(g.Data, 16, 16, 1.5); err == nil {
+		t.Fatal("expected fraction validation error")
+	}
+}
+
+// TestLocalStdGramCloseToFull checks the statistic built on the fast
+// path tracks the default path closely on a realistic field.
+func TestLocalStdGramCloseToFull(t *testing.T) {
+	g := gramRandomGrid(128, 128, 42)
+	full, err := LocalStdWith(g, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := LocalStdWith(g, 32, Options{Gram: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := full - fast
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.25 {
+		t.Fatalf("gram statistic %v too far from full %v", fast, full)
+	}
+}
+
+// TestLocalStd3DSerialParallelIdentical covers the unfolded 3D windows
+// under the determinism contract, on both paths.
+func TestLocalStd3DSerialParallelIdentical(t *testing.T) {
+	rng := xrand.New(9)
+	v := grid.NewVolume(24, 24, 24)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	f := field.FromVolume(v)
+	for _, gram := range []bool{false, true} {
+		ref, err := LocalStdField(f, 8, Options{Workers: 1, Gram: gram})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{3, 16} {
+			got, err := LocalStdField(f, 8, Options{Workers: w, Gram: gram})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("gram=%v workers=%d: %x want %x", gram, w, got, ref)
+			}
+		}
+	}
+}
+
+func benchLevel(b *testing.B, rows, cols int, gram bool) {
+	g := gramRandomGrid(rows, cols, 7)
+	mean := g.Summary().Mean
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if gram {
+			_, err = levelGram(g.Data, rows, cols, 0.99)
+		} else {
+			_, err = levelFull(g.Data, rows, cols, mean, 0.99)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruncationLevelFull(b *testing.B)       { benchLevel(b, 32, 32, false) }
+func BenchmarkTruncationLevelGram(b *testing.B)       { benchLevel(b, 32, 32, true) }
+func BenchmarkTruncationLevelFullUnfold(b *testing.B) { benchLevel(b, 32, 1024, false) }
+func BenchmarkTruncationLevelGramUnfold(b *testing.B) { benchLevel(b, 32, 1024, true) }
+
+func BenchmarkLocalStdFull3D(b *testing.B) {
+	rng := xrand.New(3)
+	v := grid.NewVolume(32, 32, 32)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	f := field.FromVolume(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalStdField(f, 16, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,11 +3,17 @@
 // target fraction (99 %) of the window's variance, summarized by the
 // standard deviation over all windows ("Std of truncation level of
 // local SVD (H=32)", Figures 6 and 7).
+//
+// The statistic extends to any rank through the field layer: a 3D
+// H×H×H window is mode-1 unfolded into an H×H² matrix (the window's
+// flat data viewed as first-extent rows), whose singular spectrum
+// plays the same role the 2D window's spectrum does.
 package svdstat
 
 import (
 	"fmt"
 
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
 	"lossycorr/internal/parallel"
@@ -25,6 +31,13 @@ type Options struct {
 	// GOMAXPROCS; 1 forces serial evaluation. Results are bit-identical
 	// for every value.
 	Workers int
+	// Gram selects the fast path: truncation levels come from the
+	// eigenvalues of the centered Gram matrix (AᵀA or AAᵀ, whichever
+	// is smaller) assembled directly from the window, skipping the
+	// centered copy and the eigenvalue→singular-value→square round
+	// trip. Levels agree with the default path up to eigensolver
+	// roundoff at the truncation threshold.
+	Gram bool
 }
 
 func (o Options) withDefaults() Options {
@@ -41,12 +54,18 @@ func (o Options) withDefaults() Options {
 // budget of smooth windows and the statistic degenerates to 1
 // everywhere. A constant window reports 0.
 func TruncationLevel(w *grid.Grid, frac float64) (int, error) {
+	return levelFull(w.Data, w.Rows, w.Cols, w.Summary().Mean, frac)
+}
+
+// levelFull is the default path: center, take singular values, and
+// accumulate their squares. The arithmetic is kept exactly as the
+// historical 2D implementation so 2D statistics stay bit-identical.
+func levelFull(data []float64, rows, cols int, mean, frac float64) (int, error) {
 	if frac <= 0 || frac > 1 {
 		return 0, fmt.Errorf("svdstat: variance fraction %v outside (0,1]", frac)
 	}
-	m := linalg.NewMatrix(w.Rows, w.Cols)
-	copy(m.Data, w.Data)
-	mean := w.Summary().Mean
+	m := linalg.NewMatrix(rows, cols)
+	copy(m.Data, data)
 	for i := range m.Data {
 		m.Data[i] -= mean
 	}
@@ -71,28 +90,141 @@ func TruncationLevel(w *grid.Grid, frac float64) (int, error) {
 	return len(sv), nil
 }
 
-// LocalLevelsWith tiles the field with h×h windows and returns the
-// truncation level of every window, fanning window SVDs out over the
-// shared worker pool. Each worker extracts its window lazily and levels
-// are collected in tile order, so the result is independent of
-// scheduling.
-func LocalLevelsWith(g *grid.Grid, h int, opts Options) ([]float64, error) {
+// levelGram is the fast path (the ROADMAP's Gram-matrix route): the
+// truncation level needs only squared singular values, which are the
+// eigenvalues of the centered Gram matrix G = AᵀA (or AAᵀ when rows <
+// cols). G is assembled in one pass from the raw window using the
+// rank-one centering identity
+//
+//	G_centered[i][j] = G_raw[i][j] − μ·(S_i + S_j) + m·μ²
+//
+// (S = line sums along the contracted side, m its length), so the
+// centered copy, the per-value sqrt, and the re-squaring of the
+// default path all disappear.
+func levelGram(data []float64, rows, cols int, frac float64) (int, error) {
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("svdstat: variance fraction %v outside (0,1]", frac)
+	}
+	n := rows * cols
+	if n == 0 {
+		return 0, nil
+	}
+	var sumAll float64
+	for _, v := range data {
+		sumAll += v
+	}
+	mu := sumAll / float64(n)
+	k, m := cols, rows // contract over rows: G = AᵀA
+	gramT := rows < cols
+	if gramT {
+		k, m = rows, cols // contract over cols: G = AAᵀ
+	}
+	g := linalg.NewMatrix(k, k)
+	lineSum := make([]float64, k)
+	if gramT {
+		for i := 0; i < k; i++ {
+			ri := data[i*cols : (i+1)*cols]
+			var s float64
+			for _, v := range ri {
+				s += v
+			}
+			lineSum[i] = s
+			for j := i; j < k; j++ {
+				rj := data[j*cols : (j+1)*cols]
+				var dot float64
+				for t, v := range ri {
+					dot += v * rj[t]
+				}
+				g.Set(i, j, dot)
+			}
+		}
+	} else {
+		for t := 0; t < rows; t++ {
+			row := data[t*cols : (t+1)*cols]
+			for i, vi := range row {
+				lineSum[i] += vi
+				gi := g.Data[i*k:]
+				for j := i; j < k; j++ {
+					gi[j] += vi * row[j]
+				}
+			}
+		}
+	}
+	mm := float64(m) * mu * mu
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			v := g.At(i, j) - mu*(lineSum[i]+lineSum[j]) + mm
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	eig, err := linalg.SymEigen(g)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, e := range eig {
+		if e > 0 {
+			total += e
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	var acc float64
+	for i, e := range eig {
+		if e > 0 {
+			acc += e
+		}
+		if acc >= frac*total {
+			return i + 1, nil
+		}
+	}
+	return len(eig), nil
+}
+
+// windowLevel computes the truncation level of one window of any rank
+// through its mode-1 unfolding (first extent × the rest); for rank 2
+// the unfolding is the window itself.
+func windowLevel(w *field.Field, o Options) (int, error) {
+	rows := w.Shape[0]
+	cols := w.Len() / rows
+	if o.Gram {
+		return levelGram(w.Data, rows, cols, o.Frac)
+	}
+	return levelFull(w.Data, rows, cols, w.Summary().Mean, o.Frac)
+}
+
+// LocalLevelsField tiles a field of any rank with h-edged hypercube
+// windows and returns the truncation level of every window, fanning
+// window spectra out over the shared worker pool. Each worker extracts
+// its window lazily and levels are collected in tile order, so the
+// result is independent of scheduling. Windows with any extent below 2
+// after clipping are skipped.
+func LocalLevelsField(f *field.Field, h int, opts Options) ([]float64, error) {
 	if h < 2 {
 		return nil, fmt.Errorf("svdstat: window %d too small", h)
 	}
 	o := opts.withDefaults()
-	origins := g.TileOrigins(h)
+	origins := f.TileOrigins(h)
 	return parallel.FilterMapErr(len(origins), o.Workers, func(i int) (float64, bool, error) {
-		w := g.Window(origins[i][0], origins[i][1], h, h)
-		if w.Rows < 2 || w.Cols < 2 {
+		w := f.Window(origins[i], h)
+		if w.MinDim() < 2 {
 			return 0, false, nil
 		}
-		k, err := TruncationLevel(w, o.Frac)
+		k, err := windowLevel(w, o)
 		if err != nil {
 			return 0, false, err
 		}
 		return float64(k), true, nil
 	})
+}
+
+// LocalLevelsWith tiles the field with h×h windows and returns the
+// truncation level of every window — the rank-2 view of
+// LocalLevelsField.
+func LocalLevelsWith(g *grid.Grid, h int, opts Options) ([]float64, error) {
+	return LocalLevelsField(field.FromGrid(g), h, opts)
 }
 
 // LocalLevels tiles the field with h×h windows and returns the
@@ -101,18 +233,24 @@ func LocalLevels(g *grid.Grid, h int, frac float64) ([]float64, error) {
 	return LocalLevelsWith(g, h, Options{Frac: frac})
 }
 
-// LocalStdWith is the paper's statistic — the standard deviation of
-// local SVD truncation levels over h×h windows — with explicit control
-// over the variance fraction and worker count.
-func LocalStdWith(g *grid.Grid, h int, opts Options) (float64, error) {
-	levels, err := LocalLevelsWith(g, h, opts)
+// LocalStdField is the paper's statistic for a field of any rank: the
+// standard deviation of local truncation levels over h-edged windows.
+func LocalStdField(f *field.Field, h int, opts Options) (float64, error) {
+	levels, err := LocalLevelsField(f, h, opts)
 	if err != nil {
 		return 0, err
 	}
 	if len(levels) == 0 {
-		return 0, fmt.Errorf("svdstat: no usable %dx%d windows", h, h)
+		return 0, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", h, f.Shape)
 	}
 	return linalg.Std(levels), nil
+}
+
+// LocalStdWith is the paper's statistic — the standard deviation of
+// local SVD truncation levels over h×h windows — with explicit control
+// over the variance fraction and worker count.
+func LocalStdWith(g *grid.Grid, h int, opts Options) (float64, error) {
+	return LocalStdField(field.FromGrid(g), h, opts)
 }
 
 // LocalStd is the paper's statistic: the standard deviation of local

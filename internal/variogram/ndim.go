@@ -1,0 +1,317 @@
+package variogram
+
+// Rank-generic variogram engine. The exact scan enumerates lag vectors
+// in a canonical half-space order (first nonzero component positive, so
+// each unordered pair counts once) and groups them by distance bin. For
+// rank 2 and rank 3 the enumeration visits exactly the offsets, in
+// exactly the order, of the historical nested-loop scans, and each
+// bin's accumulation is one left-to-right chain over its offsets'
+// pairs — so the generic scan is bit-identical to the legacy 2D and 3D
+// implementations.
+//
+// Bins are independent accumulators, which makes them the parallel
+// axis: workers own whole bins, so the per-bin chains (and therefore
+// the result) are unchanged at any worker count. This is also what
+// finally parallelizes the global exact scan, previously the one
+// serial stage of the analysis.
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/parallel"
+	"lossycorr/internal/xrand"
+)
+
+// withFieldDefaults is the rank-generic form of the Options defaults:
+// the lag cutoff falls back to half the smallest extent.
+func (o *Options) withFieldDefaults(f *field.Field) Options {
+	out := *o
+	if out.MaxLag <= 0 {
+		out.MaxLag = f.MinDim() / 2
+		if out.MaxLag < 1 {
+			out.MaxLag = 1
+		}
+	}
+	if out.MaxPairs <= 0 {
+		out.MaxPairs = 400_000
+	}
+	return out
+}
+
+// exactThresholdFor is the element count below which the exhaustive
+// scan is used by default, preserving the historical per-rank cutoffs.
+func exactThresholdFor(ndim int) int {
+	if ndim == 3 {
+		return 24 * 24 * 24
+	}
+	return 64 * 64
+}
+
+// sampleSalt decorrelates the pair sampler from other seed consumers,
+// preserving the historical per-rank constants.
+func sampleSalt(ndim int) uint64 {
+	switch ndim {
+	case 3:
+		return 0x3d3d3d3d3d3d3d3d
+	default:
+		return 0x5eed5eed5eed5eed
+	}
+}
+
+// ComputeField estimates the empirical semi-variogram of a field of
+// any rank: the exhaustive offset scan for small fields (or when
+// opts.Exact is set), pair sampling otherwise. The exact scan fans
+// distance bins out over opts.Workers; results are bit-identical at
+// any worker count.
+func ComputeField(f *field.Field, opts Options) (*Empirical, error) {
+	if f.NDim() < 1 || f.Len() < 2 {
+		return nil, fmt.Errorf("variogram: field too small (shape %v)", f.Shape)
+	}
+	o := opts.withFieldDefaults(f)
+	if o.Exact || f.Len() <= exactThresholdFor(f.NDim()) {
+		return exactScanField(f, o), nil
+	}
+	return sampledScanField(f, o), nil
+}
+
+// offsetsByBin enumerates every lag vector with 0 < |v| <= maxLag and
+// first nonzero component positive, in lexicographic order, grouped by
+// its rounded-distance bin. Each bin's slice stores the offsets
+// flattened (ndim components per offset) in enumeration order.
+func offsetsByBin(ndim, maxLag int) [][]int32 {
+	bins := make([][]int32, maxLag+1)
+	maxSq := float64(maxLag * maxLag)
+	off := make([]int32, ndim)
+	var rec func(k int, allZero bool)
+	rec = func(k int, allZero bool) {
+		if k == ndim {
+			var d2 float64
+			for _, v := range off {
+				d2 += float64(v) * float64(v)
+			}
+			if d2 == 0 || d2 > maxSq {
+				return
+			}
+			bin := int(math.Round(math.Sqrt(d2)))
+			if bin > maxLag {
+				return
+			}
+			bins[bin] = append(bins[bin], off...)
+			return
+		}
+		lo := int32(-maxLag)
+		if allZero {
+			lo = 0
+		}
+		for v := lo; v <= int32(maxLag); v++ {
+			off[k] = v
+			rec(k+1, allZero && v == 0)
+		}
+	}
+	rec(0, true)
+	return bins
+}
+
+// scanOffset folds (z(x) − z(x+off))² over every base point x for
+// which both ends are in bounds, continuing the running accumulation
+// chain passed in. Base points are visited in row-major order, which
+// together with the canonical offset order reproduces the legacy
+// accumulation chains exactly.
+func scanOffset(data []float64, dims, strides []int, off []int32, sum *float64, cnt *int64) {
+	nd := len(dims)
+	delta := 0
+	lo := make([]int, nd)
+	hi := make([]int, nd)
+	for k := 0; k < nd; k++ {
+		delta += int(off[k]) * strides[k]
+		if off[k] >= 0 {
+			lo[k], hi[k] = 0, dims[k]-int(off[k])
+		} else {
+			lo[k], hi[k] = -int(off[k]), dims[k]
+		}
+		if hi[k] <= lo[k] {
+			return
+		}
+	}
+	innerLo, innerHi := lo[nd-1], hi[nd-1]
+	innerLen := int64(innerHi - innerLo)
+	s, c := *sum, *cnt
+	cur := make([]int, nd-1)
+	copy(cur, lo[:nd-1])
+	for {
+		base := innerLo
+		for k := 0; k < nd-1; k++ {
+			base += cur[k] * strides[k]
+		}
+		for i := base; i < base+innerHi-innerLo; i++ {
+			d := data[i] - data[i+delta]
+			s += d * d
+		}
+		c += innerLen
+		k := nd - 2
+		for ; k >= 0; k-- {
+			cur[k]++
+			if cur[k] < hi[k] {
+				break
+			}
+			cur[k] = lo[k]
+		}
+		if k < 0 {
+			break
+		}
+	}
+	*sum, *cnt = s, c
+}
+
+// exactScanField accumulates every pair with offset magnitude <=
+// MaxLag. Distance bins are independent, so they are the parallel
+// axis: each worker owns whole bins and folds that bin's offsets (in
+// canonical order) into one accumulation chain, making the result
+// independent of the worker count — and bitwise equal to the legacy
+// serial 2D/3D scans.
+func exactScanField(f *field.Field, o Options) *Empirical {
+	nb := o.MaxLag
+	bins := offsetsByBin(f.NDim(), nb)
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	dims := f.Shape
+	strides := f.Strides()
+	nd := f.NDim()
+	parallel.For(nb+1, o.Workers, func(b int) {
+		offs := bins[b]
+		var s float64
+		var c int64
+		for p := 0; p < len(offs); p += nd {
+			scanOffset(f.Data, dims, strides, offs[p:p+nd], &s, &c)
+		}
+		sum[b], cnt[b] = s, c
+	})
+	return collect(sum, cnt)
+}
+
+// sampledScanField draws random pairs: a random anchor point and a
+// random offset within the cutoff ball. Component draw order (anchor
+// components, then offset components, slowest dimension first) matches
+// the legacy 2D and 3D samplers, so seeded results are unchanged.
+func sampledScanField(f *field.Field, o Options) *Empirical {
+	rng := xrand.New(o.Seed ^ sampleSalt(f.NDim()))
+	nb := o.MaxLag
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	maxSq := o.MaxLag * o.MaxLag
+	dims := f.Shape
+	strides := f.Strides()
+	nd := f.NDim()
+	pos := make([]int, nd)
+	off := make([]int, nd)
+	for p := 0; p < o.MaxPairs; p++ {
+		for k := 0; k < nd; k++ {
+			pos[k] = rng.Intn(dims[k])
+		}
+		for k := 0; k < nd; k++ {
+			off[k] = rng.Intn(2*o.MaxLag+1) - o.MaxLag
+		}
+		d2 := 0
+		for k := 0; k < nd; k++ {
+			d2 += off[k] * off[k]
+		}
+		if d2 == 0 || d2 > maxSq {
+			continue
+		}
+		ok := true
+		for k := 0; k < nd; k++ {
+			if q := pos[k] + off[k]; q < 0 || q >= dims[k] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		bin := int(math.Round(math.Sqrt(float64(d2))))
+		if bin > nb {
+			continue
+		}
+		i, j := 0, 0
+		for k := 0; k < nd; k++ {
+			i += pos[k] * strides[k]
+			j += (pos[k] + off[k]) * strides[k]
+		}
+		d := f.Data[i] - f.Data[j]
+		sum[bin] += d * d
+		cnt[bin]++
+	}
+	return collect(sum, cnt)
+}
+
+// GlobalRangeField estimates the variogram range of an entire field of
+// any rank.
+func GlobalRangeField(f *field.Field, opts Options) (Model, error) {
+	e, err := ComputeField(f, opts)
+	if err != nil {
+		return Model{}, err
+	}
+	return Fit(e)
+}
+
+// windowRangeField estimates the variogram range of one window,
+// mirroring the per-tile branch of the historical 2D implementation:
+// clipped (any extent < 4) or constant windows are skipped (ok ==
+// false without error). Per-window scans run serially — the tiles
+// themselves are the parallel axis.
+func windowRangeField(w *field.Field, opts Options) (rang float64, ok bool, err error) {
+	if w.MinDim() < 4 {
+		return 0, false, nil
+	}
+	if w.Summary().Variance == 0 {
+		return 0, false, nil
+	}
+	o := opts
+	o.Exact = true
+	o.Workers = 1
+	if o.MaxLag <= 0 || o.MaxLag > w.Shape[0]/2 {
+		o.MaxLag = w.MinDim() / 2
+	}
+	e, err := ComputeField(w, o)
+	if err != nil {
+		return 0, false, err
+	}
+	m, err := Fit(e)
+	if err != nil {
+		return 0, false, err
+	}
+	return m.Range, true, nil
+}
+
+// LocalRangesField tiles a field of any rank with h-edged hypercube
+// windows and estimates a variogram range per window (exact scan;
+// windows are small). Windows with any extent below 4 after clipping,
+// or constant windows, are skipped. Tiles are evaluated on the shared
+// worker pool (opts.Workers) and collected in tile order, so the
+// result is independent of scheduling.
+func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
+	if h < 4 {
+		return nil, fmt.Errorf("variogram: window %d too small", h)
+	}
+	origins := f.TileOrigins(h)
+	return parallel.FilterMapErr(len(origins), opts.Workers, func(i int) (float64, bool, error) {
+		return windowRangeField(f.Window(origins[i], h), opts)
+	})
+}
+
+// LocalRangeStdField is the std of per-window variogram ranges for a
+// field of any rank — the paper's heterogeneity statistic, extended to
+// H×H×H windows for volumes.
+func LocalRangeStdField(f *field.Field, h int, opts Options) (float64, error) {
+	ranges, err := LocalRangesField(f, h, opts)
+	if err != nil {
+		return 0, err
+	}
+	if len(ranges) == 0 {
+		return 0, fmt.Errorf("variogram: no usable windows (H=%d, shape %v)", h, f.Shape)
+	}
+	return linalg.Std(ranges), nil
+}

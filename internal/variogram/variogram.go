@@ -19,10 +19,9 @@ import (
 	"fmt"
 	"math"
 
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
-	"lossycorr/internal/parallel"
-	"lossycorr/internal/xrand"
 )
 
 // Empirical holds a binned empirical semi-variogram.
@@ -45,118 +44,21 @@ type Options struct {
 	// Seed feeds the pair sampler (ignored for exact scans).
 	Seed uint64
 	// Workers bounds the goroutines used by the windowed estimators
-	// (LocalRanges and friends). 0 means GOMAXPROCS; 1 forces the
-	// serial path. Results are bit-identical for every value.
+	// (LocalRanges and friends) and by the global exact scan, which
+	// fans distance bins out over the pool. 0 means GOMAXPROCS; 1
+	// forces the serial path. Results are bit-identical for every
+	// value.
 	Workers int
 }
 
 func (o *Options) withDefaults(g *grid.Grid) Options {
-	out := *o
-	if out.MaxLag <= 0 {
-		m := g.Rows
-		if g.Cols < m {
-			m = g.Cols
-		}
-		out.MaxLag = m / 2
-		if out.MaxLag < 1 {
-			out.MaxLag = 1
-		}
-	}
-	if out.MaxPairs <= 0 {
-		out.MaxPairs = 400_000
-	}
-	return out
+	return o.withFieldDefaults(field.FromGrid(g))
 }
 
-// exactThreshold is the element count below which the exhaustive scan
-// is used by default (cost grows as cutoff²·n).
-const exactThreshold = 64 * 64
-
-// Compute estimates the empirical semi-variogram of g.
+// Compute estimates the empirical semi-variogram of g. It is the
+// rank-2 view of ComputeField; see ndim.go for the generic engine.
 func Compute(g *grid.Grid, opts Options) (*Empirical, error) {
-	if g.Len() < 2 {
-		return nil, fmt.Errorf("variogram: field too small (%dx%d)", g.Rows, g.Cols)
-	}
-	o := opts.withDefaults(g)
-	if o.Exact || g.Len() <= exactThreshold {
-		return exactScan(g, o), nil
-	}
-	return sampledScan(g, o), nil
-}
-
-// exactScan accumulates every pair with offset magnitude <= MaxLag.
-// Offsets are restricted to a half-plane so each unordered pair counts
-// once.
-func exactScan(g *grid.Grid, o Options) *Empirical {
-	nb := o.MaxLag
-	sum := make([]float64, nb+1)
-	cnt := make([]int64, nb+1)
-	maxSq := float64(o.MaxLag * o.MaxLag)
-	for dr := 0; dr <= o.MaxLag; dr++ {
-		cMin := -o.MaxLag
-		if dr == 0 {
-			cMin = 1 // half-plane: dr>0, or dr==0 && dc>0
-		}
-		for dc := cMin; dc <= o.MaxLag; dc++ {
-			d2 := float64(dr*dr + dc*dc)
-			if d2 == 0 || d2 > maxSq {
-				continue
-			}
-			bin := int(math.Round(math.Sqrt(d2)))
-			if bin > nb {
-				continue
-			}
-			r0, r1 := 0, g.Rows-dr
-			for r := r0; r < r1; r++ {
-				c0, c1 := 0, g.Cols
-				if dc > 0 {
-					c1 = g.Cols - dc
-				} else {
-					c0 = -dc
-				}
-				base := r * g.Cols
-				off := (r+dr)*g.Cols + dc
-				for c := c0; c < c1; c++ {
-					d := g.Data[base+c] - g.Data[off+c]
-					sum[bin] += d * d
-					cnt[bin]++
-				}
-			}
-		}
-	}
-	return collect(sum, cnt)
-}
-
-// sampledScan draws random pairs: a random anchor point and a random
-// offset within the cutoff disc.
-func sampledScan(g *grid.Grid, o Options) *Empirical {
-	rng := xrand.New(o.Seed ^ 0x5eed5eed5eed5eed)
-	nb := o.MaxLag
-	sum := make([]float64, nb+1)
-	cnt := make([]int64, nb+1)
-	maxSq := o.MaxLag * o.MaxLag
-	for p := 0; p < o.MaxPairs; p++ {
-		r := rng.Intn(g.Rows)
-		c := rng.Intn(g.Cols)
-		dr := rng.Intn(2*o.MaxLag+1) - o.MaxLag
-		dc := rng.Intn(2*o.MaxLag+1) - o.MaxLag
-		d2 := dr*dr + dc*dc
-		if d2 == 0 || d2 > maxSq {
-			continue
-		}
-		r2, c2 := r+dr, c+dc
-		if r2 < 0 || r2 >= g.Rows || c2 < 0 || c2 >= g.Cols {
-			continue
-		}
-		bin := int(math.Round(math.Sqrt(float64(d2))))
-		if bin > nb {
-			continue
-		}
-		d := g.At(r, c) - g.At(r2, c2)
-		sum[bin] += d * d
-		cnt[bin]++
-	}
-	return collect(sum, cnt)
+	return ComputeField(field.FromGrid(g), opts)
 }
 
 func collect(sum []float64, cnt []int64) *Empirical {
@@ -232,40 +134,7 @@ func Fit(e *Empirical) (Model, error) {
 // GlobalRange estimates the variogram range of the entire field: the
 // "Estimated global variogram range" axis of Figures 3 and 4.
 func GlobalRange(g *grid.Grid, opts Options) (Model, error) {
-	e, err := Compute(g, opts)
-	if err != nil {
-		return Model{}, err
-	}
-	return Fit(e)
-}
-
-// windowRange estimates the variogram range of one window, mirroring
-// the per-tile branch of the serial implementation: clipped or constant
-// windows are skipped (ok == false without error).
-func windowRange(w *grid.Grid, opts Options) (rang float64, ok bool, err error) {
-	if w.Rows < 4 || w.Cols < 4 {
-		return 0, false, nil
-	}
-	if w.Summary().Variance == 0 {
-		return 0, false, nil
-	}
-	o := opts
-	o.Exact = true
-	if o.MaxLag <= 0 || o.MaxLag > w.Rows/2 {
-		o.MaxLag = w.Rows / 2
-		if w.Cols/2 < o.MaxLag {
-			o.MaxLag = w.Cols / 2
-		}
-	}
-	e, err := Compute(w, o)
-	if err != nil {
-		return 0, false, err
-	}
-	m, err := Fit(e)
-	if err != nil {
-		return 0, false, err
-	}
-	return m.Range, true, nil
+	return GlobalRangeField(field.FromGrid(g), opts)
 }
 
 // LocalRanges tiles the field with h×h windows and estimates a
@@ -276,24 +145,11 @@ func windowRange(w *grid.Grid, opts Options) (rang float64, ok bool, err error) 
 // at once — and collected in tile order, so the result is independent
 // of scheduling.
 func LocalRanges(g *grid.Grid, h int, opts Options) ([]float64, error) {
-	if h < 4 {
-		return nil, fmt.Errorf("variogram: window %d too small", h)
-	}
-	origins := g.TileOrigins(h)
-	return parallel.FilterMapErr(len(origins), opts.Workers, func(i int) (float64, bool, error) {
-		return windowRange(g.Window(origins[i][0], origins[i][1], h, h), opts)
-	})
+	return LocalRangesField(field.FromGrid(g), h, opts)
 }
 
 // LocalRangeStd is the "Std estimated of local variogram range (H=h)"
 // statistic: the standard deviation of per-window ranges.
 func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
-	ranges, err := LocalRanges(g, h, opts)
-	if err != nil {
-		return 0, err
-	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("variogram: no usable %dx%d windows", h, h)
-	}
-	return linalg.Std(ranges), nil
+	return LocalRangeStdField(field.FromGrid(g), h, opts)
 }

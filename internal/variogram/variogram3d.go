@@ -1,140 +1,31 @@
 package variogram
 
 import (
-	"fmt"
-	"math"
-
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
-	"lossycorr/internal/xrand"
 )
 
 // Compute3D estimates the isotropic empirical semi-variogram of a 3D
-// volume — the paper's future-work extension of the statistic to a 3D
-// context. Small volumes use an exact offset scan over the half-space
-// of lag vectors; large ones use pair sampling (same strategy as the 2D
-// estimators).
+// volume. It is the rank-3 view of ComputeField (see ndim.go); the
+// generic engine reproduces the historical 3D offset scan and pair
+// sampler bit for bit.
 func Compute3D(v *grid.Volume, opts Options) (*Empirical, error) {
-	n := v.Nz * v.Ny * v.Nx
-	if n < 2 {
-		return nil, fmt.Errorf("variogram: volume too small (%dx%dx%d)", v.Nz, v.Ny, v.Nx)
-	}
-	maxLag := opts.MaxLag
-	if maxLag <= 0 {
-		m := v.Nz
-		if v.Ny < m {
-			m = v.Ny
-		}
-		if v.Nx < m {
-			m = v.Nx
-		}
-		maxLag = m / 2
-		if maxLag < 1 {
-			maxLag = 1
-		}
-	}
-	maxPairs := opts.MaxPairs
-	if maxPairs <= 0 {
-		maxPairs = 400_000
-	}
-	const exact3DThreshold = 24 * 24 * 24
-	if opts.Exact || n <= exact3DThreshold {
-		return exactScan3D(v, maxLag), nil
-	}
-	return sampledScan3D(v, maxLag, maxPairs, opts.Seed), nil
-}
-
-// exactScan3D accumulates every pair with offset magnitude <= maxLag,
-// restricting offsets to a half-space so each unordered pair counts
-// once: dz > 0, or dz == 0 && dy > 0, or dz == dy == 0 && dx > 0.
-func exactScan3D(v *grid.Volume, maxLag int) *Empirical {
-	sum := make([]float64, maxLag+1)
-	cnt := make([]int64, maxLag+1)
-	maxSq := float64(maxLag * maxLag)
-	at := func(z, y, x int) float64 { return v.Data[(z*v.Ny+y)*v.Nx+x] }
-	for dz := 0; dz <= maxLag; dz++ {
-		yMin := -maxLag
-		if dz == 0 {
-			yMin = 0
-		}
-		for dy := yMin; dy <= maxLag; dy++ {
-			xMin := -maxLag
-			if dz == 0 && dy == 0 {
-				xMin = 1
-			}
-			for dx := xMin; dx <= maxLag; dx++ {
-				d2 := float64(dz*dz + dy*dy + dx*dx)
-				if d2 == 0 || d2 > maxSq {
-					continue
-				}
-				bin := int(math.Round(math.Sqrt(d2)))
-				if bin > maxLag {
-					continue
-				}
-				z1 := v.Nz - dz
-				for z := 0; z < z1; z++ {
-					y0, y1 := 0, v.Ny
-					if dy > 0 {
-						y1 = v.Ny - dy
-					} else {
-						y0 = -dy
-					}
-					for y := y0; y < y1; y++ {
-						x0, x1 := 0, v.Nx
-						if dx > 0 {
-							x1 = v.Nx - dx
-						} else {
-							x0 = -dx
-						}
-						for x := x0; x < x1; x++ {
-							d := at(z, y, x) - at(z+dz, y+dy, x+dx)
-							sum[bin] += d * d
-							cnt[bin]++
-						}
-					}
-				}
-			}
-		}
-	}
-	return collect(sum, cnt)
-}
-
-func sampledScan3D(v *grid.Volume, maxLag, maxPairs int, seed uint64) *Empirical {
-	rng := xrand.New(seed ^ 0x3d3d3d3d3d3d3d3d)
-	sum := make([]float64, maxLag+1)
-	cnt := make([]int64, maxLag+1)
-	maxSq := maxLag * maxLag
-	at := func(z, y, x int) float64 { return v.Data[(z*v.Ny+y)*v.Nx+x] }
-	for p := 0; p < maxPairs; p++ {
-		z := rng.Intn(v.Nz)
-		y := rng.Intn(v.Ny)
-		x := rng.Intn(v.Nx)
-		dz := rng.Intn(2*maxLag+1) - maxLag
-		dy := rng.Intn(2*maxLag+1) - maxLag
-		dx := rng.Intn(2*maxLag+1) - maxLag
-		d2 := dz*dz + dy*dy + dx*dx
-		if d2 == 0 || d2 > maxSq {
-			continue
-		}
-		z2, y2, x2 := z+dz, y+dy, x+dx
-		if z2 < 0 || z2 >= v.Nz || y2 < 0 || y2 >= v.Ny || x2 < 0 || x2 >= v.Nx {
-			continue
-		}
-		bin := int(math.Round(math.Sqrt(float64(d2))))
-		if bin > maxLag {
-			continue
-		}
-		d := at(z, y, x) - at(z2, y2, x2)
-		sum[bin] += d * d
-		cnt[bin]++
-	}
-	return collect(sum, cnt)
+	return ComputeField(field.FromVolume(v), opts)
 }
 
 // GlobalRange3D estimates the variogram range of an entire volume.
 func GlobalRange3D(v *grid.Volume, opts Options) (Model, error) {
-	e, err := Compute3D(v, opts)
-	if err != nil {
-		return Model{}, err
-	}
-	return Fit(e)
+	return GlobalRangeField(field.FromVolume(v), opts)
+}
+
+// LocalRanges3D tiles a volume with h×h×h windows and estimates a
+// variogram range per window.
+func LocalRanges3D(v *grid.Volume, h int, opts Options) ([]float64, error) {
+	return LocalRangesField(field.FromVolume(v), h, opts)
+}
+
+// LocalRangeStd3D is the std of per-window variogram ranges over h×h×h
+// windows — the paper's heterogeneity statistic in its 3D context.
+func LocalRangeStd3D(v *grid.Volume, h int, opts Options) (float64, error) {
+	return LocalRangeStdField(field.FromVolume(v), h, opts)
 }

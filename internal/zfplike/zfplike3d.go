@@ -1,0 +1,350 @@
+package zfplike
+
+// 3D variant of the ZFP-style codec: 4×4×4 blocks, the same two-level
+// integer Haar S-transform applied along x, then y, then z, negabinary
+// coefficients, and MSB-first transposed bit planes truncated at a
+// tolerance-derived cutoff. Only the error analysis changes relative
+// to the 2D codec — three inverse transform stages instead of two, so
+// every bound gains one factor of two.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lossycorr/internal/bitstream"
+	"lossycorr/internal/compress"
+	"lossycorr/internal/grid"
+	"lossycorr/internal/lossless"
+)
+
+var magic3D = [4]byte{'Z', 'F', 'L', '3'}
+
+// Compressor3D is the ZFP-like codec for 3D volumes. The zero value is
+// ready to use.
+type Compressor3D struct{}
+
+var _ compress.VolumeCompressor = Compressor3D{}
+
+// Name identifies the codec.
+func (Compressor3D) Name() string { return "zfp-like-3d" }
+
+// forwardBlock3D transforms x vectors, then y vectors, then z vectors
+// of a 4×4×4 block stored z-major (index (z*4+y)*4+x).
+func forwardBlock3D(q *[64]int64) {
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			fwd4(q[(z*4+y)*4:(z*4+y)*4+4], 1)
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for x := 0; x < 4; x++ {
+			fwd4(q[z*16+x:], 4)
+		}
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			fwd4(q[y*4+x:], 16)
+		}
+	}
+}
+
+// inverseBlock3D inverts forwardBlock3D (z, then y, then x).
+func inverseBlock3D(q *[64]int64) {
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			inv4(q[y*4+x:], 16)
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for x := 0; x < 4; x++ {
+			inv4(q[z*16+x:], 4)
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			inv4(q[(z*4+y)*4:(z*4+y)*4+4], 1)
+		}
+	}
+}
+
+// planeCutoff3D is planeCutoff with one more inverse stage: zeroing
+// the low k negabinary digits perturbs a coefficient by at most
+// (2/3)·2^k, and three stages map error E to at most 8E+7, so keeping
+// k = floor(log2(tol·scale)) − 4 puts the transform term under half
+// the tolerance.
+func planeCutoff3D(tol float64, emax int) int {
+	if tol <= 0 {
+		return 0
+	}
+	k := int(math.Floor(math.Log2(tol))) + fixedPointBits - emax - 4
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+func blockExponent64(vals *[64]float64) (int, bool) {
+	maxAbs := 0.0
+	for _, v := range vals {
+		a := math.Abs(v)
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0, true
+	}
+	_, e := math.Frexp(maxAbs)
+	return e, false
+}
+
+func blockFinite64(vals *[64]float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherBlock3D copies a 4×4×4 block with edge replication.
+func gatherBlock3D(v *grid.Volume, z0, y0, x0 int, vals *[64]float64) {
+	for z := 0; z < BlockSize; z++ {
+		gz := z0 + z
+		if gz >= v.Nz {
+			gz = v.Nz - 1
+		}
+		for y := 0; y < BlockSize; y++ {
+			gy := y0 + y
+			if gy >= v.Ny {
+				gy = v.Ny - 1
+			}
+			for x := 0; x < BlockSize; x++ {
+				gx := x0 + x
+				if gx >= v.Nx {
+					gx = v.Nx - 1
+				}
+				vals[(z*4+y)*4+x] = v.At(gz, gy, gx)
+			}
+		}
+	}
+}
+
+// scatterBlock3D writes the in-range portion of a block.
+func scatterBlock3D(v *grid.Volume, z0, y0, x0 int, vals *[64]float64) {
+	for z := 0; z < BlockSize; z++ {
+		gz := z0 + z
+		if gz >= v.Nz {
+			break
+		}
+		for y := 0; y < BlockSize; y++ {
+			gy := y0 + y
+			if gy >= v.Ny {
+				break
+			}
+			for x := 0; x < BlockSize; x++ {
+				gx := x0 + x
+				if gx >= v.Nx {
+					break
+				}
+				v.Set(gz, gy, gx, vals[(z*4+y)*4+x])
+			}
+		}
+	}
+}
+
+// Compress encodes a volume under an absolute error bound.
+func (Compressor3D) Compress(v *grid.Volume, absErr float64) ([]byte, error) {
+	if absErr <= 0 {
+		return nil, fmt.Errorf("zfplike: non-positive error bound %v", absErr)
+	}
+	if v.Nz*v.Ny*v.Nx == 0 {
+		return nil, errors.New("zfplike: empty volume")
+	}
+	nbz := (v.Nz + BlockSize - 1) / BlockSize
+	nby := (v.Ny + BlockSize - 1) / BlockSize
+	nbx := (v.Nx + BlockSize - 1) / BlockSize
+
+	var head []byte
+	head = append(head, magic3D[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(v.Nz))
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(v.Ny))
+	head = append(head, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(v.Nx))
+	head = append(head, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
+	head = append(head, tmp[:]...)
+
+	modes := make([]byte, 0, nbz*nby*nbx)
+	var meta []byte // per coded block: emax int16, top byte, cutoff byte
+	var rawVals []byte
+	w := bitstream.NewWriter()
+
+	var vals [64]float64
+	var q [64]int64
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				gatherBlock3D(v, bz*BlockSize, by*BlockSize, bx*BlockSize, &vals)
+				emax, zero := blockExponent64(&vals)
+				if zero {
+					modes = append(modes, blockZero)
+					continue
+				}
+				// Fixed-point rounding (0.5 ulp of the 2^(emax-fixedPointBits)
+				// grid) through three inverse stages costs < 2^(emax-fixedPointBits+4),
+				// which must fit inside half the tolerance.
+				fpErr := math.Ldexp(1, emax-fixedPointBits+5)
+				if absErr < fpErr || !blockFinite64(&vals) {
+					modes = append(modes, blockRaw)
+					for _, val := range vals {
+						binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(val))
+						rawVals = append(rawVals, tmp[:]...)
+					}
+					continue
+				}
+				scale := math.Ldexp(1, fixedPointBits-emax)
+				for i, val := range vals {
+					q[i] = int64(math.Round(val * scale))
+				}
+				forwardBlock3D(&q)
+				var zz [64]uint64
+				top := 0
+				for i, qv := range q {
+					zz[i] = toNegabinary(qv)
+					if b := bits.Len64(zz[i]); b > top {
+						top = b
+					}
+				}
+				cutoff := planeCutoff3D(absErr, emax)
+				if cutoff > top {
+					cutoff = top
+				}
+				modes = append(modes, blockCoded)
+				binary.LittleEndian.PutUint16(tmp[:2], uint16(int16(emax)))
+				meta = append(meta, tmp[0], tmp[1], byte(top), byte(cutoff))
+				for plane := top - 1; plane >= cutoff; plane-- {
+					for i := 0; i < 64; i++ {
+						w.WriteBit(uint(zz[i]>>uint(plane)) & 1)
+					}
+				}
+			}
+		}
+	}
+
+	payload := head
+	payload = append(payload, modes...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(meta)))
+	payload = append(payload, tmp[:4]...)
+	payload = append(payload, meta...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rawVals)))
+	payload = append(payload, tmp[:4]...)
+	payload = append(payload, rawVals...)
+	payload = append(payload, w.Bytes()...)
+	return lossless.Compress(payload)
+}
+
+// Decompress reconstructs a volume from Compress's output.
+func (Compressor3D) Decompress(data []byte) (*grid.Volume, error) {
+	raw, err := lossless.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("zfplike: %w", err)
+	}
+	if len(raw) < 24 || raw[0] != magic3D[0] || raw[1] != magic3D[1] || raw[2] != magic3D[2] || raw[3] != magic3D[3] {
+		return nil, ErrCorrupt
+	}
+	nz := int(binary.LittleEndian.Uint32(raw[4:]))
+	ny := int(binary.LittleEndian.Uint32(raw[8:]))
+	nx := int(binary.LittleEndian.Uint32(raw[12:]))
+	if nz <= 0 || ny <= 0 || nx <= 0 || nz*ny*nx > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	pos := 24
+	nbz := (nz + BlockSize - 1) / BlockSize
+	nby := (ny + BlockSize - 1) / BlockSize
+	nbx := (nx + BlockSize - 1) / BlockSize
+	nBlocks := nbz * nby * nbx
+	if len(raw) < pos+nBlocks+4 {
+		return nil, ErrCorrupt
+	}
+	modes := raw[pos : pos+nBlocks]
+	pos += nBlocks
+	metaLen := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if metaLen < 0 || len(raw) < pos+metaLen+4 {
+		return nil, ErrCorrupt
+	}
+	meta := raw[pos : pos+metaLen]
+	pos += metaLen
+	rawLen := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if rawLen < 0 || len(raw) < pos+rawLen {
+		return nil, ErrCorrupt
+	}
+	rawVals := raw[pos : pos+rawLen]
+	pos += rawLen
+	r := bitstream.NewReader(raw[pos:])
+
+	out := grid.NewVolume(nz, ny, nx)
+	mi, ri := 0, 0
+	var q [64]int64
+	var vals [64]float64
+	for bz := 0; bz < nbz; bz++ {
+		for by := 0; by < nby; by++ {
+			for bx := 0; bx < nbx; bx++ {
+				mode := modes[(bz*nby+by)*nbx+bx]
+				switch mode {
+				case blockZero:
+					for i := range vals {
+						vals[i] = 0
+					}
+				case blockRaw:
+					if ri+512 > len(rawVals) {
+						return nil, ErrCorrupt
+					}
+					for i := 0; i < 64; i++ {
+						vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rawVals[ri:]))
+						ri += 8
+					}
+				case blockCoded:
+					if mi+4 > len(meta) {
+						return nil, ErrCorrupt
+					}
+					emax := int(int16(binary.LittleEndian.Uint16(meta[mi:])))
+					top := int(meta[mi+2])
+					cutoff := int(meta[mi+3])
+					mi += 4
+					if top > 64 || cutoff > top {
+						return nil, ErrCorrupt
+					}
+					var zz [64]uint64
+					for plane := top - 1; plane >= cutoff; plane-- {
+						for i := 0; i < 64; i++ {
+							b, err := r.ReadBit()
+							if err != nil {
+								return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
+							}
+							zz[i] |= uint64(b) << uint(plane)
+						}
+					}
+					for i := range q {
+						q[i] = fromNegabinary(zz[i])
+					}
+					inverseBlock3D(&q)
+					scale := math.Ldexp(1, emax-fixedPointBits)
+					for i := range vals {
+						vals[i] = float64(q[i]) * scale
+					}
+				default:
+					return nil, ErrCorrupt
+				}
+				scatterBlock3D(out, bz*BlockSize, by*BlockSize, bx*BlockSize, &vals)
+			}
+		}
+	}
+	return out, nil
+}
