@@ -1,0 +1,167 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report — the perf-regression record CI uploads
+// as BENCH_pr3.json. It parses the standard benchmark metrics (ns/op,
+// B/op, allocs/op, MB/s) plus every custom gauge the harness reports
+// (CR:*, beta:*, R2:*, ratio, …) into one metrics map per benchmark,
+// so two runs can be diffed with nothing more than jq.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | benchjson -out BENCH.json
+//	benchjson bench.txt            # read a saved log instead of stdin
+//
+// Comparing two records:
+//
+//	jq -r '.benchmarks[] | [.name, .ns_per_op, .allocs_per_op] | @tsv' BENCH_a.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and collects every benchmark
+// line, tracking the current package from `pkg:` headers.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Schema: "lossycorr-bench/v1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %w in line %q", err, line)
+		}
+		if b == nil {
+			continue // a Benchmark... line without results (e.g. a group header)
+		}
+		b.Pkg = pkg
+		rep.Benchmarks = append(rep.Benchmarks, *b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line: name, iteration count, then
+// (value, unit) pairs.
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkFoo \t--- FAIL" and similar
+	}
+	b := &Benchmark{Name: fields[0], Iterations: iters}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit field count")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", rest[i])
+		}
+		unit := rest[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

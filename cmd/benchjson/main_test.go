@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lossycorr
+cpu: AMD EPYC 7B13
+BenchmarkFig1Variogram-8   	       1	 123456789 ns/op
+BenchmarkSZLikeCompress-8  	     100	  12345678 ns/op	  42.50 MB/s	  123456 B/op	     789 allocs/op	  11.23 ratio
+BenchmarkFig3GaussianGlobalRange-8	       1	999 ns/op	 3.21 CR:sz-like@1e-03	 -1.50 beta:sz-like@1e-03	 0.95 R2:sz-like@1e-03
+PASS
+ok  	lossycorr	12.3s
+pkg: lossycorr/internal/variogram
+BenchmarkVariogramExact/n=512-8 	       1	19468307793 ns/op
+BenchmarkVariogramFFT/n=512-8   	       4	 305570735 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "lossycorr-bench/v1" || rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("%d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	sz := rep.Benchmarks[1]
+	if sz.Name != "BenchmarkSZLikeCompress-8" || sz.Pkg != "lossycorr" {
+		t.Fatalf("sz: %+v", sz)
+	}
+	if sz.Iterations != 100 || sz.NsPerOp != 12345678 || sz.BytesPerOp != 123456 ||
+		sz.AllocsPerOp != 789 || sz.MBPerS != 42.5 || sz.Metrics["ratio"] != 11.23 {
+		t.Fatalf("sz fields: %+v", sz)
+	}
+	fig := rep.Benchmarks[2]
+	if fig.Metrics["CR:sz-like@1e-03"] != 3.21 || fig.Metrics["beta:sz-like@1e-03"] != -1.5 ||
+		fig.Metrics["R2:sz-like@1e-03"] != 0.95 {
+		t.Fatalf("gauges: %+v", fig.Metrics)
+	}
+	vf := rep.Benchmarks[4]
+	if vf.Name != "BenchmarkVariogramFFT/n=512-8" || vf.Pkg != "lossycorr/internal/variogram" {
+		t.Fatalf("vf: %+v", vf)
+	}
+	// The headline check of the perf record: FFT beats exact by the
+	// issue's required factor on the sample numbers.
+	ex := rep.Benchmarks[3]
+	if ex.NsPerOp/vf.NsPerOp < 5 {
+		t.Fatalf("sample speedup %v < 5", ex.NsPerOp/vf.NsPerOp)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-8\nBenchmarkAlso --- FAIL\nnot a line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("expected no benchmarks, got %+v", rep.Benchmarks)
+	}
+	if _, err := parse(strings.NewReader("BenchmarkOdd-8 3 42 ns/op 7\n")); err == nil {
+		t.Fatal("expected odd-field error")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBad-8 3 xx ns/op\n")); err == nil {
+		t.Fatal("expected bad-value error")
+	}
+}

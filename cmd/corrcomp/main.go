@@ -268,15 +268,20 @@ func cmdAnalyze(args []string) error {
 	in := fs.String("in", "field.bin", "input field (2D or 3D)")
 	window := fs.Int("window", 32, "local statistics window H")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
-	gram := fs.Bool("gram", false, "use the Gram-matrix fast path for the local SVD statistic")
+	gram := fs.Bool("gram", true, "Gram-matrix fast path for the local SVD statistic (-gram=false restores the full-SVD reference path)")
+	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan")
 	fs.Parse(args)
 
 	fld, err := readField(*in)
 	if err != nil {
 		return err
 	}
+	gm := lossycorr.SVDGramOn
+	if !*gram {
+		gm = lossycorr.SVDGramOff
+	}
 	stats, err := lossycorr.AnalyzeField(fld, lossycorr.AnalysisOptions{
-		Window: *window, Workers: *workers, SVDGram: *gram,
+		Window: *window, Workers: *workers, SVDGram: gm, VariogramFFT: *vfft,
 	})
 	if err != nil {
 		return err

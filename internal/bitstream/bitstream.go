@@ -17,6 +17,10 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset truncates the writer to empty, retaining the underlying buffer
+// so a pooled Writer can be reused without re-allocating.
+func (w *Writer) Reset() { w.buf = w.buf[:0]; w.bits, w.n = 0, 0 }
+
 // WriteBit appends a single bit (any nonzero b writes 1).
 func (w *Writer) WriteBit(b uint) {
 	w.bits = w.bits<<1 | uint64(b&1)

@@ -39,11 +39,20 @@ type AnalysisOptions struct {
 	VariogramOpts    variogram.Options // empirical variogram controls
 	VarianceFraction float64           // SVD threshold; 0 means 0.99
 	SkipLocal        bool              // global range only (cheaper)
-	// SVDGram selects svdstat's Gram-matrix fast path for the local
-	// SVD statistic (levels from the AᵀA/AAᵀ eigenproblem; agrees with
-	// the default path up to eigensolver roundoff at the truncation
-	// threshold). Off by default to keep historical values bit-stable.
-	SVDGram bool
+	// SVDGram selects the level path of the local SVD statistic. The
+	// zero value is svdstat's Gram-matrix fast path (levels from the
+	// AᵀA/AAᵀ eigenproblem; agrees with the full-SVD path up to
+	// eigensolver roundoff at the truncation threshold), now the
+	// default; svdstat.GramOff restores the historical full-SVD
+	// arithmetic bit-identically.
+	SVDGram svdstat.GramMode
+	// VariogramFFT selects the FFT exact engine for the global
+	// variogram scan (variogram.Options.FFT): all lag cross-products
+	// and pair counts at once from zero-padded autocorrelations,
+	// O(P log P) instead of O(N·L^d). Pair counts match the direct
+	// scan exactly and Gamma to ~1e-12 relative; windowed statistics
+	// keep the direct per-window scan either way.
+	VariogramFFT bool
 	// Workers sizes each worker pool of the analysis rather than capping
 	// total goroutines: the three statistics run concurrently on one
 	// pool and each windowed statistic fans its windows out over its
@@ -83,6 +92,9 @@ func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
 	vOpts := o.VariogramOpts
 	if vOpts.Workers == 0 {
 		vOpts.Workers = o.Workers
+	}
+	if o.VariogramFFT {
+		vOpts.FFT = true
 	}
 	var s Statistics
 	if o.SkipLocal {

@@ -7,6 +7,7 @@ import (
 	"lossycorr/internal/gaussian"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/hydro"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/xrand"
 )
 
@@ -26,6 +27,11 @@ type SingleRangeConfig struct {
 	Ranges     []float64 // generating correlation ranges
 	Replicates int       // fields per range; 0 means 1
 	Seed       uint64
+	// Workers bounds the goroutines of the generation fan-out (sampler
+	// embeddings per range, then one field per replicate, each with a
+	// pre-drawn seed). 0 means GOMAXPROCS; results are bit-identical
+	// at any worker count.
+	Workers int
 }
 
 // PaperRanges is a representative sweep of correlation ranges relative
@@ -33,6 +39,10 @@ type SingleRangeConfig struct {
 var PaperRanges = []float64{2, 4, 8, 12, 16, 24, 32, 48}
 
 // GenerateSingleRange draws the single-range Gaussian dataset.
+// Per-replicate generators are split off the config seed serially (in
+// the historical order), then sampler embeddings and field draws fan
+// out over the shared worker pool — the dataset is bit-identical to
+// the legacy serial construction at any worker count.
 func GenerateSingleRange(cfg SingleRangeConfig) (*Dataset, error) {
 	if len(cfg.Ranges) == 0 {
 		return nil, fmt.Errorf("core: no ranges configured")
@@ -42,20 +52,35 @@ func GenerateSingleRange(cfg SingleRangeConfig) (*Dataset, error) {
 		reps = 1
 	}
 	rng := xrand.New(cfg.Seed)
-	ds := &Dataset{Name: "gaussian-single"}
-	for _, a := range cfg.Ranges {
-		s, err := gaussian.NewSampler(gaussian.Params{Rows: cfg.Rows, Cols: cfg.Cols, Range: a})
+	total := len(cfg.Ranges) * reps
+	rngs := make([]*xrand.Rand, total)
+	for i := range rngs {
+		rngs[i] = rng.Split()
+	}
+	samplers := make([]*gaussian.Sampler, len(cfg.Ranges))
+	if err := parallel.ForErr(len(cfg.Ranges), cfg.Workers, func(k int) error {
+		s, err := gaussian.NewSampler(gaussian.Params{Rows: cfg.Rows, Cols: cfg.Cols, Range: cfg.Ranges[k]})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for r := 0; r < reps; r++ {
-			f, err := s.Sample(rng.Split())
-			if err != nil {
-				return nil, err
-			}
-			ds.Fields = append(ds.Fields, f)
-			ds.Labels = append(ds.Labels, a)
+		samplers[k] = s
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: "gaussian-single",
+		Fields: make([]*grid.Grid, total), Labels: make([]float64, total)}
+	if err := parallel.ForErr(total, cfg.Workers, func(i int) error {
+		k := i / reps
+		f, err := samplers[k].Sample(rngs[i])
+		if err != nil {
+			return err
 		}
+		ds.Fields[i] = f
+		ds.Labels[i] = cfg.Ranges[k]
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
@@ -67,6 +92,9 @@ type MultiRangeConfig struct {
 	RangePairs [][2]float64
 	Replicates int
 	Seed       uint64
+	// Workers bounds the generation fan-out; 0 means GOMAXPROCS.
+	// Results are bit-identical at any worker count.
+	Workers int
 }
 
 // PaperRangePairs pairs a short and a long range, equal contribution.
@@ -87,20 +115,28 @@ func GenerateMultiRange(cfg MultiRangeConfig) (*Dataset, error) {
 		reps = 1
 	}
 	rng := xrand.New(cfg.Seed)
-	ds := &Dataset{Name: "gaussian-multi"}
-	for _, pair := range cfg.RangePairs {
-		for r := 0; r < reps; r++ {
-			f, err := gaussian.GenerateMulti(gaussian.MultiParams{
-				Rows: cfg.Rows, Cols: cfg.Cols,
-				Ranges: pair[:],
-				Seed:   rng.Uint64(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			ds.Fields = append(ds.Fields, f)
-			ds.Labels = append(ds.Labels, geoMean(pair[0], pair[1]))
+	total := len(cfg.RangePairs) * reps
+	seeds := make([]uint64, total)
+	for i := range seeds { // drawn serially, in the historical order
+		seeds[i] = rng.Uint64()
+	}
+	ds := &Dataset{Name: "gaussian-multi",
+		Fields: make([]*grid.Grid, total), Labels: make([]float64, total)}
+	if err := parallel.ForErr(total, cfg.Workers, func(i int) error {
+		pair := cfg.RangePairs[i/reps]
+		f, err := gaussian.GenerateMulti(gaussian.MultiParams{
+			Rows: cfg.Rows, Cols: cfg.Cols,
+			Ranges: pair[:],
+			Seed:   seeds[i],
+		})
+		if err != nil {
+			return err
 		}
+		ds.Fields[i] = f
+		ds.Labels[i] = geoMean(pair[0], pair[1])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
@@ -120,14 +156,19 @@ type MirandaConfig struct {
 	Slices int     // number of snapshots
 	TEnd   float64 // final simulation time; 0 means 1.6
 	Seed   uint64
+	// Workers bounds the per-slice simulation fan-out (each slice is an
+	// independent run with its own seed); 0 means GOMAXPROCS. Results
+	// are bit-identical at any worker count.
+	Workers int
 }
 
-// GenerateMiranda runs the hydro solver and collects slices.
+// GenerateMiranda runs the hydro solver and collects slices, fanning
+// the independent per-slice simulations out over the worker pool.
 func GenerateMiranda(cfg MirandaConfig) (*Dataset, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("core: non-positive size %d", cfg.Size)
 	}
-	set, err := hydro.GenerateSlices(cfg.Size, cfg.Slices, cfg.TEnd, cfg.Seed)
+	set, err := hydro.GenerateSlicesWith(cfg.Size, cfg.Slices, cfg.TEnd, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -95,6 +95,7 @@ func (s *Suite) SingleRangeMeasurements() ([]Measurement, error) {
 		Ranges:     s.cfg.scaledRanges(),
 		Replicates: s.cfg.Replicates,
 		Seed:       s.cfg.Seed + 1,
+		Workers:    s.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -113,6 +114,7 @@ func (s *Suite) MultiRangeMeasurements() ([]Measurement, error) {
 		RangePairs: s.cfg.scaledPairs(),
 		Replicates: s.cfg.Replicates,
 		Seed:       s.cfg.Seed + 2,
+		Workers:    s.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -131,10 +133,11 @@ func (s *Suite) MirandaMeasurements() ([]Measurement, error) {
 	// edge, which also lets the instability develop (t→3) at tractable
 	// cost.
 	ds, err := GenerateMiranda(MirandaConfig{
-		Size:   s.cfg.Size / 2,
-		Slices: s.cfg.MirandaSlices,
-		TEnd:   3.0,
-		Seed:   s.cfg.Seed + 3,
+		Size:    s.cfg.Size / 2,
+		Slices:  s.cfg.MirandaSlices,
+		TEnd:    3.0,
+		Seed:    s.cfg.Seed + 3,
+		Workers: s.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

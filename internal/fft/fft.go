@@ -62,6 +62,15 @@ func transform(x []complex128, inverse bool) error {
 	if n == 1 {
 		return nil
 	}
+	transformTw(x, twiddles(n), inverse)
+	return nil
+}
+
+// transformTw is the radix-2 butterfly core over a precomputed twiddle
+// table (len(w) == len(x)/2). Factoring the table out lets an axis pass
+// of an ND transform share one table across all of its lines.
+func transformTw(x []complex128, w []complex128, inverse bool) {
+	n := len(x)
 	// bit-reversal permutation
 	shift := 64 - uint(bits.Len(uint(n-1)))
 	for i := 0; i < n; i++ {
@@ -70,7 +79,6 @@ func transform(x []complex128, inverse bool) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	w := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
@@ -87,7 +95,6 @@ func transform(x []complex128, inverse bool) error {
 			}
 		}
 	}
-	return nil
 }
 
 // Forward2D computes the in-place forward DFT of a rows×cols row-major

@@ -1,0 +1,216 @@
+package fft
+
+// Rank-generic transforms and the shared complex-buffer pool. The ND
+// transform is the numerical engine of the variogram FFT fast path: one
+// axis pass per dimension, each pass sharing a single twiddle table and
+// fanning its (independent) lines out over the process-wide worker
+// pool. Lines along the last axis are contiguous and transform in
+// place; other axes gather each strided line into a per-span scratch.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"lossycorr/internal/parallel"
+)
+
+// complexPools buckets reusable []complex128 by power-of-two capacity,
+// so the repeated large scratch buffers of the variogram FFT engine and
+// the samplers are recycled instead of re-allocated per call.
+var complexPools [48]sync.Pool
+
+// AcquireComplex returns a buffer of length n (contents unspecified)
+// from the pool, allocating a power-of-two-capacity one on miss.
+// Release it with ReleaseComplex when done.
+func AcquireComplex(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	b := bits.Len(uint(NextPow2(n) - 1))
+	if v := complexPools[b].Get(); v != nil {
+		buf := *(v.(*[]complex128))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]complex128, n, NextPow2(n))
+}
+
+// ReleaseComplex returns a buffer obtained from AcquireComplex to the
+// pool. The caller must not use the slice afterwards.
+func ReleaseComplex(buf []complex128) {
+	c := cap(buf)
+	if c == 0 || !IsPow2(c) {
+		return
+	}
+	buf = buf[:c]
+	b := bits.Len(uint(c - 1))
+	complexPools[b].Put(&buf)
+}
+
+// ForEachEmbeddedRow visits the contiguous last-dimension runs of a
+// srcDims-shaped field embedded in the leading corner of a
+// dstDims-shaped buffer, yielding (srcOff, dstOff, n) per run — the
+// one odometer walk beneath PadReal and the variogram engine's
+// indicator-mask fill. Extents of srcDims must not exceed dstDims.
+func ForEachEmbeddedRow(srcDims, dstDims []int, fn func(srcOff, dstOff, n int)) error {
+	if len(dstDims) != len(srcDims) {
+		return fmt.Errorf("fft: embed rank mismatch %v vs %v", srcDims, dstDims)
+	}
+	total := 1
+	for k, d := range dstDims {
+		if srcDims[k] > d {
+			return fmt.Errorf("fft: embed extent %d exceeds padded extent %d", srcDims[k], d)
+		}
+		total *= srcDims[k]
+	}
+	nd := len(srcDims)
+	if nd == 0 || total == 0 {
+		return nil
+	}
+	// Destination strides.
+	strides := make([]int, nd)
+	acc := 1
+	for k := nd - 1; k >= 0; k-- {
+		strides[k] = acc
+		acc *= dstDims[k]
+	}
+	inner := srcDims[nd-1]
+	outer := make([]int, nd-1)
+	srcOff := 0
+	for {
+		dstOff := 0
+		for k := 0; k < nd-1; k++ {
+			dstOff += outer[k] * strides[k]
+		}
+		fn(srcOff, dstOff, inner)
+		srcOff += inner
+		k := nd - 2
+		for ; k >= 0; k-- {
+			outer[k]++
+			if outer[k] < srcDims[k] {
+				break
+			}
+			outer[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// PadReal zero-fills dst (whose shape is dstDims) and copies the real
+// field src (shape srcDims, same rank, extents <= dstDims) into its
+// leading corner — the zero-padding step of a linear (non-circular)
+// correlation. Rows of the last dimension are copied contiguously.
+func PadReal(dst []complex128, dstDims []int, src []float64, srcDims []int) error {
+	n := 1
+	for _, d := range dstDims {
+		n *= d
+	}
+	if len(dst) != n {
+		return fmt.Errorf("fft: pad buffer length %d != product of %v", len(dst), dstDims)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return ForEachEmbeddedRow(srcDims, dstDims, func(srcOff, dstOff, n int) {
+		for i, v := range src[srcOff : srcOff+n] {
+			dst[dstOff+i] = complex(v, 0)
+		}
+	})
+}
+
+// ForwardND computes the in-place unnormalized forward DFT of a
+// row-major buffer of any rank; every extent must be a power of two.
+// Each axis pass runs its independent lines on the shared worker pool
+// (workers <= 0 means GOMAXPROCS); line transforms write disjoint
+// regions, so the result is bit-identical at any worker count.
+func ForwardND(x []complex128, dims []int, workers int) error {
+	return transformND(x, dims, workers, false)
+}
+
+// InverseND computes the normalized in-place inverse ND DFT so that
+// InverseND(ForwardND(x)) == x.
+func InverseND(x []complex128, dims []int, workers int) error {
+	if err := transformND(x, dims, workers, true); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+func transformND(x []complex128, dims []int, workers int, inverse bool) error {
+	n := 1
+	for _, d := range dims {
+		if !IsPow2(d) {
+			return fmt.Errorf("fft: extent %d is not a power of two", d)
+		}
+		n *= d
+	}
+	if len(x) != n {
+		return fmt.Errorf("fft: buffer length %d != product of %v", len(x), dims)
+	}
+	if n <= 1 {
+		return nil
+	}
+	for axis := len(dims) - 1; axis >= 0; axis-- {
+		axisPass(x, dims, axis, workers, inverse)
+	}
+	return nil
+}
+
+// axisPass transforms every line of x along the given axis. The twiddle
+// table is computed once and shared (read-only) by all lines; lines are
+// split into at most `workers` contiguous spans so each span needs one
+// scratch buffer, not one per line.
+func axisPass(x []complex128, dims []int, axis, workers int, inverse bool) {
+	d := dims[axis]
+	if d <= 1 {
+		return
+	}
+	w := twiddles(d)
+	stride := 1
+	for k := axis + 1; k < len(dims); k++ {
+		stride *= dims[k]
+	}
+	lines := len(x) / d
+	if axis == len(dims)-1 {
+		// Contiguous lines: transform in place.
+		parallel.For(lines, workers, func(i int) {
+			transformTw(x[i*d:(i+1)*d], w, inverse)
+		})
+		return
+	}
+	// Strided lines: line (o, i) starts at o*d*stride + i, elements
+	// stride apart. Split lines into spans, one scratch per span.
+	spans := parallel.Resolve(workers, lines)
+	per := (lines + spans - 1) / spans
+	parallel.For(spans, spans, func(s int) {
+		lo, hi := s*per, (s+1)*per
+		if hi > lines {
+			hi = lines
+		}
+		if lo >= hi {
+			return
+		}
+		scratch := AcquireComplex(d)
+		defer ReleaseComplex(scratch)
+		for line := lo; line < hi; line++ {
+			o, i := line/stride, line%stride
+			base := o*d*stride + i
+			for k := 0; k < d; k++ {
+				scratch[k] = x[base+k*stride]
+			}
+			transformTw(scratch, w, inverse)
+			for k := 0; k < d; k++ {
+				x[base+k*stride] = scratch[k]
+			}
+		}
+	})
+}

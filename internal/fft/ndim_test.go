@@ -1,0 +1,181 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lossycorr/internal/xrand"
+)
+
+func randComplex(n int, seed uint64) []complex128 {
+	rng := xrand.New(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestForwardNDMatches2D3D pins the ND engine against the existing
+// fixed-rank transforms.
+func TestForwardNDMatches2D3D(t *testing.T) {
+	x := randComplex(16*32, 1)
+	ref := append([]complex128(nil), x...)
+	if err := Forward2D(ref, 16, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]complex128(nil), x...)
+	if err := ForwardND(got, []int{16, 32}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(ref, got); d > 1e-9 {
+		t.Fatalf("2D mismatch %g", d)
+	}
+
+	y := randComplex(8*16*4, 2)
+	ref3 := append([]complex128(nil), y...)
+	if err := Forward3D(ref3, 8, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	got3 := append([]complex128(nil), y...)
+	if err := ForwardND(got3, []int{8, 16, 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(ref3, got3); d > 1e-9 {
+		t.Fatalf("3D mismatch %g", d)
+	}
+}
+
+// TestNDRoundTripAndWorkers checks InverseND(ForwardND(x)) == x and
+// that every worker count produces bit-identical spectra (line
+// transforms write disjoint regions; twiddle tables are shared
+// read-only).
+func TestNDRoundTripAndWorkers(t *testing.T) {
+	for _, dims := range [][]int{{64}, {8, 32}, {4, 8, 16}, {2, 4, 4, 8}} {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		x := randComplex(n, 7)
+		ref := append([]complex128(nil), x...)
+		if err := ForwardND(ref, dims, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 16} {
+			got := append([]complex128(nil), x...)
+			if err := ForwardND(got, dims, workers); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("dims %v workers %d: spectrum differs at %d", dims, workers, i)
+				}
+			}
+			if err := InverseND(got, dims, workers); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxDiff(got, x); d > 1e-9*float64(n) {
+				t.Fatalf("dims %v workers %d: roundtrip error %g", dims, workers, d)
+			}
+		}
+	}
+}
+
+func TestNDRejectsBadShapes(t *testing.T) {
+	x := make([]complex128, 12)
+	if err := ForwardND(x, []int{3, 4}, 1); err == nil {
+		t.Fatal("expected non-power-of-two error")
+	}
+	if err := ForwardND(x, []int{4, 4}, 1); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+// TestPadReal checks the zero-padded corner embedding and its bounds
+// checks.
+func TestPadReal(t *testing.T) {
+	src := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	dst := make([]complex128, 4*4)
+	for i := range dst {
+		dst[i] = complex(9, 9) // must be cleared
+	}
+	if err := PadReal(dst, []int{4, 4}, src, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := 0.0
+			if r < 2 && c < 3 {
+				want = src[r*3+c]
+			}
+			if got := dst[r*4+c]; real(got) != want || imag(got) != 0 {
+				t.Fatalf("dst[%d,%d] = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+	if err := PadReal(dst, []int{4, 4}, src, []int{2, 5}); err == nil {
+		t.Fatal("expected extent error")
+	}
+	if err := PadReal(dst, []int{4}, src, []int{2, 3}); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+// TestComplexPoolReuse checks the buffer pool hands back released
+// buffers instead of allocating fresh ones.
+func TestComplexPoolReuse(t *testing.T) {
+	a := AcquireComplex(1000) // rounds capacity to 1024
+	if len(a) != 1000 || cap(a) != 1024 {
+		t.Fatalf("len %d cap %d", len(a), cap(a))
+	}
+	a[0] = 42
+	ReleaseComplex(a)
+	b := AcquireComplex(900)
+	// Same bucket: the pooled buffer (cap 1024) must come back.
+	if cap(b) != 1024 {
+		t.Fatalf("pool miss: cap %d", cap(b))
+	}
+	ReleaseComplex(b)
+	if AcquireComplex(0) != nil {
+		t.Fatal("AcquireComplex(0) should be nil")
+	}
+	ReleaseComplex(nil) // must not panic
+
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := AcquireComplex(512)
+		ReleaseComplex(buf)
+	})
+	// One interface-boxing alloc per Put is the sync.Pool floor; a
+	// fresh 512-element buffer per run would cost far more.
+	if allocs > 2 {
+		t.Fatalf("acquire/release allocates %v per cycle", allocs)
+	}
+}
+
+// TestNextPow2Padding sanity-checks the padding arithmetic the
+// variogram engine relies on: NextPow2(d+L) >= d+L keeps circular
+// correlation linear for |h| <= L.
+func TestNextPow2Padding(t *testing.T) {
+	for _, d := range []int{1, 7, 37, 64, 1028} {
+		for _, l := range []int{1, 5, 514} {
+			p := NextPow2(d + l)
+			if p < d+l || !IsPow2(p) {
+				t.Fatalf("NextPow2(%d+%d) = %d", d, l, p)
+			}
+		}
+	}
+	if math.Abs(float64(NextPow2(1))-1) != 0 {
+		t.Fatal("NextPow2(1) != 1")
+	}
+}

@@ -228,11 +228,24 @@ func (f *Field) MSE(o *Field) (float64, error) {
 // clipped to the field, so callers tiling a non-multiple field receive
 // ragged edge windows — the rank-generic form of (*grid.Grid).Window.
 func (f *Field) Window(origin []int, h int) *Field {
+	return f.WindowInto(new(Field), origin, h)
+}
+
+// WindowInto is Window extracting into dst, reusing dst's shape and
+// data storage when their capacities allow — the zero-allocation form
+// the windowed statistics feed from a per-worker pool. It returns dst.
+func (f *Field) WindowInto(dst *Field, origin []int, h int) *Field {
 	d := len(f.Shape)
 	if len(origin) != d {
 		panic(fmt.Sprintf("field: window origin rank %d != field rank %d", len(origin), d))
 	}
-	ext := make([]int, d)
+	if cap(dst.Shape) >= d {
+		dst.Shape = dst.Shape[:d]
+	} else {
+		dst.Shape = make([]int, d)
+	}
+	ext := dst.Shape
+	n := 1
 	for k := range origin {
 		if origin[k] < 0 || origin[k] >= f.Shape[k] {
 			panic(fmt.Sprintf("field: window origin %v outside shape %v", origin, f.Shape))
@@ -241,24 +254,51 @@ func (f *Field) Window(origin []int, h int) *Field {
 		if origin[k]+h > f.Shape[k] {
 			ext[k] = f.Shape[k] - origin[k]
 		}
+		n *= ext[k]
 	}
-	w := New(ext...)
-	if w.Len() == 0 {
+	if cap(dst.Data) >= n {
+		dst.Data = dst.Data[:n]
+	} else {
+		dst.Data = make([]float64, n)
+	}
+	w := dst
+	if n == 0 {
 		return w
 	}
-	st := f.Strides()
+	var stBuf [8]int
+	var st []int
+	if d <= len(stBuf) {
+		st = stBuf[:d]
+		acc := 1
+		for k := d - 1; k >= 0; k-- {
+			st[k] = acc
+			acc *= f.Shape[k]
+		}
+	} else {
+		st = f.Strides()
+	}
 	// Copy one contiguous run of the last dimension at a time, walking
-	// the outer dimensions with an odometer.
-	outer := make([]int, d-1)
+	// the outer dimensions with an odometer (stack-allocated for the
+	// ranks the pipeline uses).
+	var odo [8]int
+	var outer []int
+	if d-1 <= len(odo) {
+		outer = odo[:d-1]
+		for k := range outer {
+			outer[k] = 0
+		}
+	} else {
+		outer = make([]int, d-1)
+	}
 	for {
 		src := origin[d-1]
-		dst := 0
+		dstOff := 0
 		for k := 0; k < d-1; k++ {
 			src += (origin[k] + outer[k]) * st[k]
-			dst = dst*ext[k] + outer[k]
+			dstOff = dstOff*ext[k] + outer[k]
 		}
-		dst *= ext[d-1]
-		copy(w.Data[dst:dst+ext[d-1]], f.Data[src:src+ext[d-1]])
+		dstOff *= ext[d-1]
+		copy(w.Data[dstOff:dstOff+ext[d-1]], f.Data[src:src+ext[d-1]])
 		k := d - 2
 		for ; k >= 0; k-- {
 			outer[k]++

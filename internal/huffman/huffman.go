@@ -61,15 +61,24 @@ func codeLengths(freq map[uint16]uint64) map[uint16]uint8 {
 		}
 		return lengths
 	}
+	// Slab-allocate the tree: a Huffman tree over n leaves has exactly
+	// 2n−1 nodes, so one allocation sized up front replaces one
+	// allocation per node (the capacity is never exceeded, keeping the
+	// interior pointers stable).
+	nodes := make([]node, 0, 2*len(freq)-1)
+	alloc := func(n node) *node {
+		nodes = append(nodes, n)
+		return &nodes[len(nodes)-1]
+	}
 	h := make(nodeHeap, 0, len(freq))
 	for s, f := range freq {
-		h = append(h, &node{freq: f, symbol: s, leaf: true})
+		h = append(h, alloc(node{freq: f, symbol: s, leaf: true}))
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*node)
 		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: minSym(a, b), left: a, right: b})
+		heap.Push(&h, alloc(node{freq: a.freq + b.freq, symbol: minSym(a, b), left: a, right: b}))
 	}
 	root := h[0]
 	var walk func(n *node, depth uint8)

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"lossycorr/internal/grid"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/xrand"
 )
 
@@ -625,15 +626,23 @@ type SliceSet struct {
 // ranges across the set, as the paper's per-slice analysis does
 // implicitly through value-range-equivalent error bounds.
 func GenerateSlices(n, count int, tEnd float64, seed uint64) (*SliceSet, error) {
+	return GenerateSlicesWith(n, count, tEnd, seed, 0)
+}
+
+// GenerateSlicesWith is GenerateSlices with an explicit worker count.
+// Every slice is an independent simulation with its own deterministic
+// seed, so the runs fan out over the shared worker pool and land in
+// their index slots — the set is bit-identical at any worker count.
+func GenerateSlicesWith(n, count int, tEnd float64, seed uint64, workers int) (*SliceSet, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("hydro: non-positive slice count %d", count)
 	}
 	if tEnd <= 0 {
 		tEnd = 1.6
 	}
-	set := &SliceSet{}
+	set := &SliceSet{Times: make([]float64, count), Slices: make([]*grid.Grid, count)}
 	const maxSteps = 100_000
-	for k := 0; k < count; k++ {
+	err := parallel.ForErr(count, workers, func(k int) error {
 		frac := float64(k) / math.Max(1, float64(count-1))
 		// Slices sweep from the calm edge of the mixing layer (wide
 		// laminar bands, weak background turbulence, long correlation
@@ -650,10 +659,14 @@ func GenerateSlices(n, count int, tEnd float64, seed uint64) (*SliceSet, error) 
 		})
 		target := tEnd * (0.35 + 0.65*frac)
 		if err := sim.Run(target, maxSteps); err != nil {
-			return nil, err
+			return err
 		}
-		set.Times = append(set.Times, sim.Time())
-		set.Slices = append(set.Slices, sim.VelocityX().Normalize())
+		set.Times[k] = sim.Time()
+		set.Slices[k] = sim.VelocityX().Normalize()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return set, nil
 }

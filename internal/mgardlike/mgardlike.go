@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/grid"
@@ -26,6 +27,10 @@ import (
 	"lossycorr/internal/lossless"
 	"lossycorr/internal/quant"
 )
+
+// symbolPool recycles the quantized-coefficient stream between
+// Compress calls — one field's worth of uint16 per call otherwise.
+var symbolPool = sync.Pool{New: func() any { return new([]uint16) }}
 
 var magic = [4]byte{'M', 'G', 'L', '1'}
 
@@ -133,7 +138,9 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 	// within the bound with a uniform per-level budget q = eb/(L+1).
 	q := quant.New(absErr / float64(L+1))
 
-	symbols := make([]uint16, 0, g.Len())
+	sp := symbolPool.Get().(*[]uint16)
+	defer symbolPool.Put(sp)
+	symbols := (*sp)[:0]
 	var exact []float64
 
 	// coarsest lattice: coefficients are the raw values (zero
@@ -170,6 +177,7 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 	}
 
 	huff := huffman.Encode(symbols)
+	*sp = symbols // retain grown capacity for reuse
 	var buf []byte
 	buf = append(buf, magic[:]...)
 	var tmp [8]byte

@@ -5,6 +5,7 @@ import (
 
 	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
+	"lossycorr/internal/linalg"
 	"lossycorr/internal/xrand"
 )
 
@@ -84,15 +85,56 @@ func TestGramConstantWindowZero(t *testing.T) {
 	}
 }
 
-// TestLocalStdGramCloseToFull checks the statistic built on the fast
-// path tracks the default path closely on a realistic field.
-func TestLocalStdGramCloseToFull(t *testing.T) {
-	g := gramRandomGrid(128, 128, 42)
-	full, err := LocalStdWith(g, 32, Options{})
+// TestGramDefaultPinsBothDirections pins the release flip: the zero
+// value and GramOn must take the fast path bit-identically, and
+// GramOff must reproduce the historical full-SVD arithmetic (compared
+// against levelFull directly, the verbatim legacy path).
+func TestGramDefaultPinsBothDirections(t *testing.T) {
+	g := gramRandomGrid(96, 96, 11)
+	def, err := LocalStdWith(g, 32, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := LocalStdWith(g, 32, Options{Gram: true})
+	fast, err := LocalStdWith(g, 32, Options{Gram: GramOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != fast {
+		t.Fatalf("default %x != GramOn %x: the zero value must be the fast path", def, fast)
+	}
+	full, err := LocalStdWith(g, 32, Options{Gram: GramOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the escape hatch through the legacy per-window path.
+	f := field.FromGrid(g)
+	var legacy []float64
+	for _, origin := range f.TileOrigins(32) {
+		w := f.Window(origin, 32)
+		if w.MinDim() < 2 {
+			continue
+		}
+		k, err := levelFull(w.Data, w.Shape[0], w.Len()/w.Shape[0], w.Summary().Mean, DefaultVarianceFraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = append(legacy, float64(k))
+	}
+	want := linalg.Std(legacy)
+	if full != want {
+		t.Fatalf("GramOff %x != legacy full path %x", full, want)
+	}
+}
+
+// TestLocalStdGramCloseToFull checks the statistic built on the fast
+// path tracks the full-SVD path closely on a realistic field.
+func TestLocalStdGramCloseToFull(t *testing.T) {
+	g := gramRandomGrid(128, 128, 42)
+	full, err := LocalStdWith(g, 32, Options{Gram: GramOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := LocalStdWith(g, 32, Options{Gram: GramOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +156,7 @@ func TestLocalStd3DSerialParallelIdentical(t *testing.T) {
 		v.Data[i] = rng.NormFloat64()
 	}
 	f := field.FromVolume(v)
-	for _, gram := range []bool{false, true} {
+	for _, gram := range []GramMode{GramOff, GramOn} {
 		ref, err := LocalStdField(f, 8, Options{Workers: 1, Gram: gram})
 		if err != nil {
 			t.Fatal(err)

@@ -12,6 +12,7 @@ package svdstat
 
 import (
 	"fmt"
+	"sync"
 
 	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
@@ -19,8 +20,37 @@ import (
 	"lossycorr/internal/parallel"
 )
 
+// windowPool recycles per-tile window extraction buffers: each worker
+// borrows a *field.Field, refills it with WindowInto, and returns it.
+var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
+
 // DefaultVarianceFraction is the paper's 99 % threshold.
 const DefaultVarianceFraction = 0.99
+
+// GramMode selects between the Gram-matrix fast path and the full-SVD
+// reference path for truncation levels.
+type GramMode int
+
+const (
+	// GramDefault (the zero value) uses the fast path: truncation
+	// levels come from the eigenvalues of the centered Gram matrix
+	// (AᵀA or AAᵀ, whichever is smaller) assembled directly from the
+	// window, skipping the centered copy and the
+	// eigenvalue→singular-value→square round trip. Levels agree with
+	// the full-SVD path up to eigensolver roundoff at the truncation
+	// threshold (~5 % faster on 32×32 windows, ~16 % on unfolded 3D
+	// windows, fewer allocations).
+	GramDefault GramMode = iota
+	// GramOn requests the fast path explicitly (same as the default).
+	GramOn
+	// GramOff is the escape hatch: the historical full-SVD path
+	// (center, singular values, accumulate squares), bit-identical to
+	// the pre-Gram releases.
+	GramOff
+)
+
+// useGram reports whether the mode selects the fast path.
+func (m GramMode) useGram() bool { return m != GramOff }
 
 // Options configures windowed SVD statistics.
 type Options struct {
@@ -31,13 +61,9 @@ type Options struct {
 	// GOMAXPROCS; 1 forces serial evaluation. Results are bit-identical
 	// for every value.
 	Workers int
-	// Gram selects the fast path: truncation levels come from the
-	// eigenvalues of the centered Gram matrix (AᵀA or AAᵀ, whichever
-	// is smaller) assembled directly from the window, skipping the
-	// centered copy and the eigenvalue→singular-value→square round
-	// trip. Levels agree with the default path up to eigensolver
-	// roundoff at the truncation threshold.
-	Gram bool
+	// Gram selects the level path; the zero value is the Gram fast
+	// path, GramOff restores the historical full-SVD arithmetic.
+	Gram GramMode
 }
 
 func (o Options) withDefaults() Options {
@@ -57,9 +83,11 @@ func TruncationLevel(w *grid.Grid, frac float64) (int, error) {
 	return levelFull(w.Data, w.Rows, w.Cols, w.Summary().Mean, frac)
 }
 
-// levelFull is the default path: center, take singular values, and
-// accumulate their squares. The arithmetic is kept exactly as the
-// historical 2D implementation so 2D statistics stay bit-identical.
+// levelFull is the reference path (GramOff, and TruncationLevel's
+// arithmetic): center, take singular values, and accumulate their
+// squares. The arithmetic is kept exactly as the historical 2D
+// implementation so the escape hatch reproduces pre-Gram statistics
+// bit-identically.
 func levelFull(data []float64, rows, cols int, mean, frac float64) (int, error) {
 	if frac <= 0 || frac > 1 {
 		return 0, fmt.Errorf("svdstat: variance fraction %v outside (0,1]", frac)
@@ -189,7 +217,7 @@ func levelGram(data []float64, rows, cols int, frac float64) (int, error) {
 func windowLevel(w *field.Field, o Options) (int, error) {
 	rows := w.Shape[0]
 	cols := w.Len() / rows
-	if o.Gram {
+	if o.Gram.useGram() {
 		return levelGram(w.Data, rows, cols, o.Frac)
 	}
 	return levelFull(w.Data, rows, cols, w.Summary().Mean, o.Frac)
@@ -208,7 +236,9 @@ func LocalLevelsField(f *field.Field, h int, opts Options) ([]float64, error) {
 	o := opts.withDefaults()
 	origins := f.TileOrigins(h)
 	return parallel.FilterMapErr(len(origins), o.Workers, func(i int) (float64, bool, error) {
-		w := f.Window(origins[i], h)
+		w := windowPool.Get().(*field.Field)
+		defer windowPool.Put(w)
+		f.WindowInto(w, origins[i], h)
 		if w.MinDim() < 2 {
 			return 0, false, nil
 		}

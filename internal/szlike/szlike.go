@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/grid"
@@ -25,6 +26,30 @@ import (
 	"lossycorr/internal/lossless"
 	"lossycorr/internal/quant"
 )
+
+// compressScratch is the per-call working set of Compress — the
+// reconstruction mirror, symbol stream, and block-mode list — recycled
+// through a pool so batch measurement (every field × error bound)
+// stops re-allocating a full field's worth of scratch per run.
+type compressScratch struct {
+	recon   []float64
+	symbols []uint16
+	modes   []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(compressScratch) }}
+
+// grow returns s[:n] reusing capacity, zeroed.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
 
 // BlockSize is the 2D prediction block edge, matching SZ's 16×16.
 const BlockSize = 16
@@ -166,13 +191,16 @@ func (cc Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 		return nil, errors.New("szlike: empty field")
 	}
 	q := quant.New(absErr)
-	recon := grid.New(g.Rows, g.Cols)
+	sc := scratchPool.Get().(*compressScratch)
+	defer scratchPool.Put(sc)
+	sc.recon = growFloats(sc.recon, g.Len())
+	recon := &grid.Grid{Rows: g.Rows, Cols: g.Cols, Data: sc.recon}
 
 	nbr := (g.Rows + BlockSize - 1) / BlockSize
 	nbc := (g.Cols + BlockSize - 1) / BlockSize
-	modes := make([]byte, 0, nbr*nbc)
+	modes := sc.modes[:0]
 	var coeffs []float32 // 3 per regression block
-	symbols := make([]uint16, 0, g.Len())
+	symbols := sc.symbols[:0]
 	var exact []float64
 
 	for br := 0; br < nbr; br++ {
@@ -228,6 +256,7 @@ func (cc Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 	}
 
 	huff := huffman.Encode(symbols)
+	sc.modes, sc.symbols = modes, symbols // retain grown capacity for reuse
 
 	// assemble payload: header | modes | coeffs | exactCount | exact | huff
 	var buf []byte

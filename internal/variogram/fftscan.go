@@ -1,0 +1,146 @@
+package variogram
+
+// FFT exact engine. The exhaustive scan costs O(N·L^d): every lag
+// offset re-sweeps the whole array. But all of its per-offset
+// quantities are correlations, so they can be computed at once from a
+// handful of zero-padded transforms:
+//
+//	S(h) = Σ_x (z(x) − z(x+h))²   over x with both ends in the domain
+//	     = c_wm(h) + c_wm(−h) − 2·c_zz(h)
+//	N(h) = c_mm(h)
+//
+// where m is the domain indicator (1 on the field, 0 in the padding),
+// w = z²·m, c_ab(h) = Σ_x a(x)·b(x+h) is linear cross-correlation, and
+// c_zz / c_mm are the autocorrelations of the padded field and mask.
+// Padding each extent to NextPow2(dim + MaxLag) makes the circular
+// correlations linear for every |h_k| <= MaxLag, so the mask terms
+// reproduce the non-periodic boundary handling of the direct scan
+// exactly: N(h) counts exactly the pairs scanOffset visits.
+//
+// Three forward transforms (z, z², m) and two inverse transforms
+// (|Z|² + i·|M|² packed into one — both autocorrelations are real — and
+// conj(W)·M) turn O(N·L^d) into O(P log P) with P the padded size. The
+// per-offset results are folded into the same rounded-distance bins, in
+// the same canonical enumeration order, as the direct scan; pair counts
+// agree exactly and Gamma to roundoff (~1e-12 relative on random
+// fields; the equivalence test pins 1e-9).
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/fft"
+	"lossycorr/internal/parallel"
+)
+
+// fftScanField computes the exact binned variogram through the
+// transform identities above. The result is independent of the worker
+// count: line transforms write disjoint regions and each distance bin
+// folds its offsets in canonical order.
+func fftScanField(f *field.Field, o Options) (*Empirical, error) {
+	dims := f.Shape
+	nd := len(dims)
+	if nd < 1 {
+		return nil, fmt.Errorf("variogram: rank-0 field")
+	}
+	nb := o.MaxLag
+	pad := make([]int, nd)
+	total := 1
+	for k, d := range dims {
+		pad[k] = fft.NextPow2(d + nb)
+		total *= pad[k]
+	}
+
+	// z, z²·m, and m, zero-padded. w reuses z's padding: the padded
+	// square of the padded field is exactly z²·m.
+	bz := fft.AcquireComplex(total)
+	defer fft.ReleaseComplex(bz)
+	if err := fft.PadReal(bz, pad, f.Data, dims); err != nil {
+		return nil, err
+	}
+	bw := fft.AcquireComplex(total)
+	defer fft.ReleaseComplex(bw)
+	for i, v := range bz {
+		r := real(v)
+		bw[i] = complex(r*r, 0)
+	}
+	bm := fft.AcquireComplex(total)
+	defer fft.ReleaseComplex(bm)
+	for i := range bm {
+		bm[i] = 0
+	}
+	if err := fft.ForEachEmbeddedRow(dims, pad, func(_, dstOff, n int) {
+		for i := dstOff; i < dstOff+n; i++ {
+			bm[i] = 1
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, buf := range [][]complex128{bz, bw, bm} {
+		if err := fft.ForwardND(buf, pad, o.Workers); err != nil {
+			return nil, err
+		}
+	}
+	// Spectra products: bw ← conj(W)·M (the w⋆m cross-correlation),
+	// bz ← |Z|² + i·|M|² (both autocorrelations, packed: each inverse
+	// transform is real, so one complex inverse recovers the pair).
+	for i, m := range bm {
+		w := bw[i]
+		bw[i] = complex(real(w), -imag(w)) * m
+		z := bz[i]
+		bz[i] = complex(real(z)*real(z)+imag(z)*imag(z),
+			real(m)*real(m)+imag(m)*imag(m))
+	}
+	if err := fft.InverseND(bz, pad, o.Workers); err != nil {
+		return nil, err
+	}
+	if err := fft.InverseND(bw, pad, o.Workers); err != nil {
+		return nil, err
+	}
+
+	// Fold per-offset correlations into distance bins, in the same
+	// canonical order as the direct scan.
+	pStride := make([]int, nd)
+	acc := 1
+	for k := nd - 1; k >= 0; k-- {
+		pStride[k] = acc
+		acc *= pad[k]
+	}
+	bins := offsetsByBinCached(nd, nb)
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	parallel.For(nb+1, o.Workers, func(b int) {
+		offs := bins[b]
+		var s float64
+		var c int64
+		for p := 0; p < len(offs); p += nd {
+			idx, neg := 0, 0
+			for k := 0; k < nd; k++ {
+				h := int(offs[p+k])
+				if h >= 0 {
+					idx += h * pStride[k]
+					if h > 0 {
+						neg += (pad[k] - h) * pStride[k]
+					}
+				} else {
+					idx += (pad[k] + h) * pStride[k]
+					neg += -h * pStride[k]
+				}
+			}
+			n := int64(math.Round(imag(bz[idx])))
+			if n <= 0 {
+				continue
+			}
+			d := real(bw[idx]) + real(bw[neg]) - 2*real(bz[idx])
+			if d < 0 { // roundoff on (near-)constant fields
+				d = 0
+			}
+			s += d
+			c += n
+		}
+		sum[b], cnt[b] = s, c
+	})
+	return collect(sum, cnt), nil
+}

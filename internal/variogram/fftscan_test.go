@@ -1,0 +1,225 @@
+package variogram
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/xrand"
+)
+
+func randomField(shape []int, seed uint64) *field.Field {
+	rng := xrand.New(seed)
+	f := field.New(shape...)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+// TestFFTMatchesExactScan is the fast path's pinned equivalence: across
+// ranks, odd (non-power-of-two) extents, lag cutoffs, and worker
+// counts, the FFT engine must reproduce the direct scan's pair counts
+// exactly and its Gamma values to 1e-9 relative.
+func TestFFTMatchesExactScan(t *testing.T) {
+	cases := []struct {
+		shape  []int
+		maxLag int
+	}{
+		{[]int{37, 53}, 0},
+		{[]int{64, 64}, 0},
+		{[]int{96, 40}, 13},
+		{[]int{17, 19, 23}, 0},
+		{[]int{24, 24, 24}, 7},
+	}
+	for ci, tc := range cases {
+		f := randomField(tc.shape, uint64(100+ci))
+		ex, err := ComputeField(f, Options{Exact: true, MaxLag: tc.maxLag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *Empirical
+		for _, workers := range []int{1, 3, 8} {
+			ff, err := ComputeField(f, Options{FFT: true, MaxLag: tc.maxLag, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ff.H) != len(ex.H) {
+				t.Fatalf("shape %v workers %d: %d bins vs exact %d", tc.shape, workers, len(ff.H), len(ex.H))
+			}
+			for i := range ex.H {
+				if ff.N[i] != ex.N[i] {
+					t.Fatalf("shape %v workers %d bin h=%v: count %d vs exact %d",
+						tc.shape, workers, ex.H[i], ff.N[i], ex.N[i])
+				}
+				rel := math.Abs(ff.Gamma[i]-ex.Gamma[i]) / math.Abs(ex.Gamma[i])
+				if rel > 1e-9 {
+					t.Fatalf("shape %v workers %d bin h=%v: gamma %v vs exact %v (rel %g)",
+						tc.shape, workers, ex.H[i], ff.Gamma[i], ex.Gamma[i], rel)
+				}
+			}
+			// The FFT path itself is bit-identical at any worker count.
+			if ref == nil {
+				ref = ff
+			} else {
+				for i := range ref.Gamma {
+					if ff.Gamma[i] != ref.Gamma[i] {
+						t.Fatalf("shape %v workers %d: nondeterministic gamma at bin %d", tc.shape, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFFTLagBeyondExtent covers offsets larger than an extent: the
+// direct scan skips them (no valid base points) and the FFT mask
+// autocorrelation must count zero pairs for them, leaving the binned
+// results identical.
+func TestFFTLagBeyondExtent(t *testing.T) {
+	f := randomField([]int{8, 64}, 9)
+	ex, err := ComputeField(f, Options{Exact: true, MaxLag: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := ComputeField(f, Options{FFT: true, MaxLag: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ff.H) != len(ex.H) {
+		t.Fatalf("%d bins vs exact %d", len(ff.H), len(ex.H))
+	}
+	for i := range ex.H {
+		if ff.N[i] != ex.N[i] {
+			t.Fatalf("bin h=%v: count %d vs exact %d", ex.H[i], ff.N[i], ex.N[i])
+		}
+	}
+}
+
+// TestFFTGlobalRangeField checks the option threads through the fitted
+// model entry point and lands near the direct estimate.
+func TestFFTGlobalRangeField(t *testing.T) {
+	f := randomField([]int{48, 48}, 3)
+	mEx, err := GlobalRangeField(f, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFF, err := GlobalRangeField(f, Options{FFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(mFF.Range-mEx.Range) / mEx.Range; rel > 1e-6 {
+		t.Fatalf("fitted range %v vs exact %v (rel %g)", mFF.Range, mEx.Range, rel)
+	}
+}
+
+// TestFFTConstantField covers the roundoff clamp: a constant field has
+// zero semi-variance in every bin, which the cancellation in
+// c_wm(h)+c_wm(−h)−2·c_zz(h) must not turn negative.
+func TestFFTConstantField(t *testing.T) {
+	f := field.New(20, 20)
+	for i := range f.Data {
+		f.Data[i] = 4.5
+	}
+	ff, err := ComputeField(f, Options{FFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range ff.Gamma {
+		if g < 0 || g > 1e-12 {
+			t.Fatalf("bin h=%v: gamma %v, want 0", ff.H[i], g)
+		}
+	}
+}
+
+// TestScanOffsetAllocs pins the zero-allocation contract of the direct
+// scan's inner loop: with the per-bin scratch hoisted out, a scanOffset
+// visit allocates nothing.
+func TestScanOffsetAllocs(t *testing.T) {
+	f := randomField([]int{32, 32}, 5)
+	dims := f.Shape
+	strides := f.Strides()
+	sc := newScanScratch(2)
+	off := []int32{3, -2}
+	var sum float64
+	var cnt int64
+	allocs := testing.AllocsPerRun(200, func() {
+		scanOffset(f.Data, dims, strides, off, sc, &sum, &cnt)
+	})
+	if allocs != 0 {
+		t.Fatalf("scanOffset allocates %v per visit, want 0", allocs)
+	}
+}
+
+// ---- benchmarks -------------------------------------------------------------
+
+// benchScanSizes are the 2D edges the Exact/FFT benchmark pair sweeps.
+// The paper-scale 1028² case joins only when LOSSYCORR_N >= 1028 — a
+// single exact scan at that size takes minutes, which has no place in a
+// CI smoke run.
+func benchScanSizes() []int {
+	sizes := []int{128, 512}
+	if s := os.Getenv("LOSSYCORR_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1028 {
+			sizes = append(sizes, 1028)
+		}
+	}
+	return sizes
+}
+
+// BenchmarkVariogramExact measures the direct O(N·L²) global scan.
+func BenchmarkVariogramExact(b *testing.B) {
+	for _, n := range benchScanSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := randomField([]int{n, n}, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeField(f, Options{Exact: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVariogramFFT measures the FFT exact engine on the same
+// fields; the ns/op ratio against BenchmarkVariogramExact is the
+// speedup the perf harness tracks.
+func BenchmarkVariogramFFT(b *testing.B) {
+	for _, n := range benchScanSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := randomField([]int{n, n}, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeField(f, Options{FFT: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVariogramExact3D / BenchmarkVariogramFFT3D are the rank-3
+// pair on a 64³ volume.
+func BenchmarkVariogramExact3D(b *testing.B) {
+	f := randomField([]int{64, 64, 64}, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeField(f, Options{Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariogramFFT3D(b *testing.B) {
+	f := randomField([]int{64, 64, 64}, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeField(f, Options{FFT: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package variogram
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lossycorr/internal/field"
 	"lossycorr/internal/linalg"
@@ -71,6 +72,9 @@ func ComputeField(f *field.Field, opts Options) (*Empirical, error) {
 		return nil, fmt.Errorf("variogram: field too small (shape %v)", f.Shape)
 	}
 	o := opts.withFieldDefaults(f)
+	if o.FFT {
+		return fftScanField(f, o)
+	}
 	if o.Exact || f.Len() <= exactThresholdFor(f.NDim()) {
 		return exactScanField(f, o), nil
 	}
@@ -115,16 +119,68 @@ func offsetsByBin(ndim, maxLag int) [][]int32 {
 	return bins
 }
 
+// offsetCache memoizes offsetsByBin for the small cutoffs of windowed
+// scans, which re-enumerate an identical offset set for every window —
+// previously the dominant allocation of LocalRanges. Entries are
+// immutable once stored. Large cutoffs (one-shot global scans) stay
+// uncached: cacheableOffsets bounds each entry by its actual size —
+// half of (2L+1)^d offsets at d int32 components — so the never-evicted
+// map stays under ~1 MB per key at any rank.
+var offsetCache sync.Map // [2]int{ndim, maxLag} -> [][]int32
+
+// cacheableOffsets reports whether the (ndim, maxLag) enumeration is
+// small enough to memoize (≤ 1 MiB of offset storage).
+func cacheableOffsets(ndim, maxLag int) bool {
+	const maxBytes = 1 << 20
+	side := 2*maxLag + 1
+	bytes := float64(ndim) * 4 / 2 // per enumerated lattice point
+	for i := 0; i < ndim; i++ {
+		bytes *= float64(side)
+		if bytes > maxBytes {
+			return false
+		}
+	}
+	return true
+}
+
+func offsetsByBinCached(ndim, maxLag int) [][]int32 {
+	if !cacheableOffsets(ndim, maxLag) {
+		return offsetsByBin(ndim, maxLag)
+	}
+	key := [2]int{ndim, maxLag}
+	if v, ok := offsetCache.Load(key); ok {
+		return v.([][]int32)
+	}
+	bins := offsetsByBin(ndim, maxLag)
+	if v, loaded := offsetCache.LoadOrStore(key, bins); loaded {
+		return v.([][]int32)
+	}
+	return bins
+}
+
+// scanScratch is the odometer state of scanOffset, allocated once per
+// distance bin by exactScanField and reused across that bin's offsets,
+// so the exact scan's inner loop allocates nothing per offset (pinned
+// by TestScanOffsetAllocs).
+type scanScratch struct {
+	lo, hi, cur []int
+}
+
+func newScanScratch(nd int) *scanScratch {
+	buf := make([]int, 3*nd)
+	return &scanScratch{lo: buf[:nd], hi: buf[nd : 2*nd], cur: buf[2*nd : 3*nd]}
+}
+
 // scanOffset folds (z(x) − z(x+off))² over every base point x for
 // which both ends are in bounds, continuing the running accumulation
 // chain passed in. Base points are visited in row-major order, which
 // together with the canonical offset order reproduces the legacy
 // accumulation chains exactly.
-func scanOffset(data []float64, dims, strides []int, off []int32, sum *float64, cnt *int64) {
+func scanOffset(data []float64, dims, strides []int, off []int32, sc *scanScratch, sum *float64, cnt *int64) {
 	nd := len(dims)
 	delta := 0
-	lo := make([]int, nd)
-	hi := make([]int, nd)
+	lo := sc.lo[:nd]
+	hi := sc.hi[:nd]
 	for k := 0; k < nd; k++ {
 		delta += int(off[k]) * strides[k]
 		if off[k] >= 0 {
@@ -139,7 +195,7 @@ func scanOffset(data []float64, dims, strides []int, off []int32, sum *float64, 
 	innerLo, innerHi := lo[nd-1], hi[nd-1]
 	innerLen := int64(innerHi - innerLo)
 	s, c := *sum, *cnt
-	cur := make([]int, nd-1)
+	cur := sc.cur[:nd-1]
 	copy(cur, lo[:nd-1])
 	for {
 		base := innerLo
@@ -174,7 +230,7 @@ func scanOffset(data []float64, dims, strides []int, off []int32, sum *float64, 
 // serial 2D/3D scans.
 func exactScanField(f *field.Field, o Options) *Empirical {
 	nb := o.MaxLag
-	bins := offsetsByBin(f.NDim(), nb)
+	bins := offsetsByBinCached(f.NDim(), nb)
 	sum := make([]float64, nb+1)
 	cnt := make([]int64, nb+1)
 	dims := f.Shape
@@ -182,10 +238,14 @@ func exactScanField(f *field.Field, o Options) *Empirical {
 	nd := f.NDim()
 	parallel.For(nb+1, o.Workers, func(b int) {
 		offs := bins[b]
+		if len(offs) == 0 {
+			return
+		}
+		sc := newScanScratch(nd)
 		var s float64
 		var c int64
 		for p := 0; p < len(offs); p += nd {
-			scanOffset(f.Data, dims, strides, offs[p:p+nd], &s, &c)
+			scanOffset(f.Data, dims, strides, offs[p:p+nd], sc, &s, &c)
 		}
 		sum[b], cnt[b] = s, c
 	})
@@ -271,6 +331,7 @@ func windowRangeField(w *field.Field, opts Options) (rang float64, ok bool, err 
 	}
 	o := opts
 	o.Exact = true
+	o.FFT = false // windows are small; the direct scan wins and is bit-stable
 	o.Workers = 1
 	if o.MaxLag <= 0 || o.MaxLag > w.Shape[0]/2 {
 		o.MaxLag = w.MinDim() / 2
@@ -292,13 +353,21 @@ func windowRangeField(w *field.Field, opts Options) (rang float64, ok bool, err 
 // or constant windows, are skipped. Tiles are evaluated on the shared
 // worker pool (opts.Workers) and collected in tile order, so the
 // result is independent of scheduling.
+// windowPool recycles the per-tile extraction buffers of the windowed
+// estimators: each worker borrows a *field.Field, fills it in place
+// with WindowInto, and returns it — steady state allocates no window
+// storage.
+var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
+
 func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
 	if h < 4 {
 		return nil, fmt.Errorf("variogram: window %d too small", h)
 	}
 	origins := f.TileOrigins(h)
 	return parallel.FilterMapErr(len(origins), opts.Workers, func(i int) (float64, bool, error) {
-		return windowRangeField(f.Window(origins[i], h), opts)
+		w := windowPool.Get().(*field.Field)
+		defer windowPool.Put(w)
+		return windowRangeField(f.WindowInto(w, origins[i], h), opts)
 	})
 }
 

@@ -41,6 +41,14 @@ type Options struct {
 	MaxPairs int
 	// Exact forces the exhaustive offset scan regardless of size.
 	Exact bool
+	// FFT selects the FFT exact engine for global scans: every lag
+	// cross-product and valid-pair count at once from zero-padded
+	// autocorrelations (O(P log P) on the padded size P instead of
+	// O(N·L^d)), binned identically to the direct scan. Pair counts
+	// match the direct scan exactly and Gamma to roundoff (the
+	// equivalence test pins 1e-9 relative). Windowed estimators ignore
+	// it — their windows are small enough that the direct scan wins.
+	FFT bool
 	// Seed feeds the pair sampler (ignored for exact scans).
 	Seed uint64
 	// Workers bounds the goroutines used by the windowed estimators

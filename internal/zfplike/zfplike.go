@@ -23,12 +23,25 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"lossycorr/internal/bitstream"
 	"lossycorr/internal/compress"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/lossless"
 )
+
+// compressScratch recycles the per-call stream builders of Compress —
+// block modes, coded-block metadata, raw escapes, and the bit-plane
+// writer — across batch measurement runs.
+type compressScratch struct {
+	modes, meta, rawVals []byte
+	w                    *bitstream.Writer
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &compressScratch{w: bitstream.NewWriter()}
+}}
 
 // BlockSize is the block edge (ZFP uses 4 in each dimension).
 const BlockSize = 4
@@ -179,10 +192,13 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
 	head = append(head, tmp[:]...)
 
-	modes := make([]byte, 0, nbr*nbc)
-	var meta []byte // per coded block: emax int16, top byte, cutoff byte
-	var rawVals []byte
-	w := bitstream.NewWriter()
+	sc := scratchPool.Get().(*compressScratch)
+	defer scratchPool.Put(sc)
+	modes := sc.modes[:0]
+	meta := sc.meta[:0] // per coded block: emax int16, top byte, cutoff byte
+	rawVals := sc.rawVals[:0]
+	w := sc.w
+	w.Reset()
 
 	var vals [16]float64
 	var q [16]int64
@@ -237,6 +253,7 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 		}
 	}
 
+	sc.modes, sc.meta, sc.rawVals = modes, meta, rawVals // retain capacity
 	payload := head
 	payload = append(payload, modes...)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(meta)))
