@@ -18,10 +18,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
 	"lossycorr/internal/core"
+	"lossycorr/internal/fft"
+	"lossycorr/internal/field"
 	"lossycorr/internal/gaussian"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/hydro"
@@ -567,6 +570,43 @@ func BenchmarkMeasureFieldsParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkVariogramFFTMiranda runs the real-input FFT variogram
+// engine on a Miranda-shaped 256×384×384 volume — the paper-scale run
+// the memory work exists for. Gated behind LOSSYCORR_MIRANDA=1: the
+// transform working set is ~3.2 GB (the PR 3 complex-path engine
+// needed ~6.4 GB for the same shape, reported as fftComplexRefMB), far
+// beyond a CI smoke budget.
+func BenchmarkVariogramFFTMiranda(b *testing.B) {
+	if os.Getenv("LOSSYCORR_MIRANDA") == "" {
+		b.Skip("set LOSSYCORR_MIRANDA=1 to run the 256×384×384 benchmark (~3.2 GB)")
+	}
+	shape := []int{256, 384, 384}
+	f := field.New(shape...)
+	rng := xrand.New(21)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	maxLag := 128 // default cutoff: min extent / 2
+	refTotal := int64(1)
+	for _, d := range shape {
+		refTotal *= int64(fft.NextPow2(d + maxLag))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.ResetPeakBytes()
+		if _, err := variogram.ComputeField(f, variogram.Options{FFT: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fft.PeakBytes())/(1<<20), "fftPeakMB")
+	b.ReportMetric(float64(3*16*refTotal)/(1<<20), "fftComplexRefMB")
+	// Process-level confirmation of the transform-buffer numbers: the
+	// Go runtime's OS-obtained memory after the paper-scale run.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Sys)/(1<<20), "memSysMB")
 }
 
 // BenchmarkHydroStep measures one time step of the Euler solver at the

@@ -269,7 +269,7 @@ func cmdAnalyze(args []string) error {
 	window := fs.Int("window", 32, "local statistics window H")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	gram := fs.Bool("gram", true, "Gram-matrix fast path for the local SVD statistic (-gram=false restores the full-SVD reference path)")
-	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan")
+	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan (real-input half-spectrum transforms; ~40% of the former complex-path memory)")
 	fs.Parse(args)
 
 	fld, err := readField(*in)

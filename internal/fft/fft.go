@@ -1,8 +1,12 @@
-// Package fft implements radix-2 complex fast Fourier transforms in one
-// and two dimensions. It is the numerical engine behind the exact
-// circulant-embedding Gaussian field sampler and the spectral
-// diagnostics; only power-of-two lengths are supported, with NextPow2
-// available for padding.
+// Package fft implements complex and real-input fast Fourier transforms
+// of any rank and any length. It is the numerical engine behind the
+// exact circulant-embedding Gaussian field sampler, the variogram FFT
+// fast path, and the spectral diagnostics. Power-of-two lengths run the
+// radix-2 butterfly core, 7-smooth lengths a mixed-radix Cooley–Tukey
+// plan, and everything else Bluestein's chirp-z algorithm (plan.go) —
+// so padding can be exact (or FastLen-rounded) instead of doubling to
+// NextPow2. Real-input fields additionally transform in half-spectrum
+// form (realnd.go), halving the storage of every hermitian workload.
 package fft
 
 import (
@@ -33,8 +37,8 @@ func twiddles(n int) []complex128 {
 	return w
 }
 
-// Forward computes the in-place unnormalized forward DFT of x, whose
-// length must be a power of two:
+// Forward computes the in-place unnormalized forward DFT of x, of any
+// length (see the package comment for how lengths map to algorithms):
 //
 //	X[k] = Σ_j x[j]·exp(-2πi jk/n)
 func Forward(x []complex128) error {
@@ -56,13 +60,13 @@ func Inverse(x []complex128) error {
 
 func transform(x []complex128, inverse bool) error {
 	n := len(x)
-	if !IsPow2(n) {
-		return fmt.Errorf("fft: length %d is not a power of two", n)
+	if n == 0 {
+		return fmt.Errorf("fft: empty input")
 	}
 	if n == 1 {
 		return nil
 	}
-	transformTw(x, twiddles(n), inverse)
+	planFor(n).transform(x, inverse)
 	return nil
 }
 
@@ -98,7 +102,7 @@ func transformTw(x []complex128, w []complex128, inverse bool) {
 }
 
 // Forward2D computes the in-place forward DFT of a rows×cols row-major
-// complex grid; both dimensions must be powers of two.
+// complex grid; any extents.
 func Forward2D(x []complex128, rows, cols int) error {
 	return transform2D(x, rows, cols, Forward)
 }
@@ -133,8 +137,7 @@ func transform2D(x []complex128, rows, cols int, f func([]complex128) error) err
 }
 
 // Forward3D computes the in-place forward DFT of an (nz, ny, nx)
-// row-major complex volume (x fastest); all dimensions must be powers
-// of two.
+// row-major complex volume (x fastest); any extents.
 func Forward3D(x []complex128, nz, ny, nx int) error {
 	return transform3D(x, nz, ny, nx, Forward)
 }

@@ -108,12 +108,24 @@ func TestParseval(t *testing.T) {
 	}
 }
 
-func TestNonPow2Error(t *testing.T) {
-	if err := Forward(make([]complex128, 3)); err == nil {
-		t.Fatal("expected error for n=3")
+func TestNonPow2Accepted(t *testing.T) {
+	// The plan layer removed the power-of-two restriction: arbitrary
+	// lengths transform (and invert) instead of erroring.
+	for _, n := range []int{3, 12} {
+		x := randComplex(n, uint64(n))
+		y := append([]complex128(nil), x...)
+		if err := Forward(y); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Inverse(y); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxDiff(y, x); d > 1e-9 {
+			t.Fatalf("n=%d: round trip off by %g", n, d)
+		}
 	}
-	if err := Inverse(make([]complex128, 12)); err == nil {
-		t.Fatal("expected error for n=12")
+	if err := Forward(nil); err == nil {
+		t.Fatal("expected error for empty input")
 	}
 }
 

@@ -11,14 +11,66 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"lossycorr/internal/parallel"
 )
 
-// complexPools buckets reusable []complex128 by power-of-two capacity,
-// so the repeated large scratch buffers of the variogram FFT engine and
-// the samplers are recycled instead of re-allocated per call.
-var complexPools [48]sync.Pool
+// The buffer pools bucket reusable slices by capacity so the repeated
+// large scratch buffers of the variogram FFT engine and the samplers
+// are recycled instead of re-allocated per call.
+//
+// Bucket contract: bucket b holds buffers whose capacity lies in
+// [2^b, 2^(b+1)) — Release files by floor(log2(cap)), so buffers with
+// non-power-of-two capacities (exact-size allocations, Bluestein
+// scratch, re-sliced tails) are retained rather than dropped. Acquire
+// first pops the ceil(log2(n)) bucket, whose buffers all fit by
+// construction, then tries the floor bucket below it with an explicit
+// fit check (returning a too-small buffer to its bucket), and only
+// then allocates — at exactly the requested length, not the next power
+// of two, so a half-spectrum never drags a 2× capacity behind it and a
+// re-acquired same-size buffer is found one bucket down.
+var (
+	complexPools [64]sync.Pool
+	realPools    [64]sync.Pool
+)
+
+// Live/peak accounting of acquired (checked-out) pool bytes. This is
+// the transform-buffer working set of whatever engine is running — the
+// number the memory smoke tests and the bench gauges report.
+var (
+	poolLiveBytes atomic.Int64
+	poolPeakBytes atomic.Int64
+)
+
+func accountAcquire(bytes int64) {
+	l := poolLiveBytes.Add(bytes)
+	for {
+		p := poolPeakBytes.Load()
+		if l <= p || poolPeakBytes.CompareAndSwap(p, l) {
+			return
+		}
+	}
+}
+
+// ResetPeakBytes restarts the high-water mark of checked-out pool
+// bytes at the current live level.
+func ResetPeakBytes() { poolPeakBytes.Store(poolLiveBytes.Load()) }
+
+// PeakBytes returns the high-water mark of simultaneously checked-out
+// pool bytes (complex and real buffers) since the last ResetPeakBytes.
+func PeakBytes() int64 { return poolPeakBytes.Load() }
+
+// LiveBytes returns the currently checked-out pool bytes.
+func LiveBytes() int64 { return poolLiveBytes.Load() }
+
+// acquireBucket is ceil(log2(n)): every buffer filed in this bucket has
+// capacity >= 2^bucket >= n.
+func acquireBucket(n int) int { return bits.Len(uint(n - 1)) }
+
+// releaseBucket is floor(log2(c)): the largest bucket whose fit
+// guarantee capacity c can honor.
+func releaseBucket(c int) int { return bits.Len(uint(c)) - 1 }
 
 // AcquireComplex returns a buffer of length n (contents unspecified)
 // from the pool, allocating a power-of-two-capacity one on miss.
@@ -27,26 +79,81 @@ func AcquireComplex(n int) []complex128 {
 	if n <= 0 {
 		return nil
 	}
-	b := bits.Len(uint(NextPow2(n) - 1))
+	b := acquireBucket(n)
 	if v := complexPools[b].Get(); v != nil {
 		buf := *(v.(*[]complex128))
-		if cap(buf) >= n {
-			return buf[:n]
+		accountAcquire(int64(cap(buf)) * 16)
+		return buf[:n]
+	}
+	if b > 0 {
+		if v := complexPools[b-1].Get(); v != nil {
+			p := v.(*[]complex128)
+			if cap(*p) >= n {
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 16)
+				return buf[:n]
+			}
+			complexPools[b-1].Put(p) // fits smaller requests; keep it
 		}
 	}
-	return make([]complex128, n, NextPow2(n))
+	buf := make([]complex128, n)
+	accountAcquire(int64(cap(buf)) * 16)
+	return buf
 }
 
 // ReleaseComplex returns a buffer obtained from AcquireComplex to the
-// pool. The caller must not use the slice afterwards.
+// pool. Buffers of any capacity are accepted (non-power-of-two
+// capacities are filed by floor(log2(cap)) and keep serving smaller
+// requests). The caller must not use the slice afterwards.
 func ReleaseComplex(buf []complex128) {
 	c := cap(buf)
-	if c == 0 || !IsPow2(c) {
+	if c == 0 {
 		return
 	}
+	poolLiveBytes.Add(-int64(c) * 16)
 	buf = buf[:c]
-	b := bits.Len(uint(c - 1))
-	complexPools[b].Put(&buf)
+	complexPools[releaseBucket(c)].Put(&buf)
+}
+
+// AcquireReal returns a []float64 of length n (contents unspecified)
+// from the real-typed pool — the padded-field and correlation-plane
+// storage of the real-input engine. Release with ReleaseReal.
+func AcquireReal(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := acquireBucket(n)
+	if v := realPools[b].Get(); v != nil {
+		buf := *(v.(*[]float64))
+		accountAcquire(int64(cap(buf)) * 8)
+		return buf[:n]
+	}
+	if b > 0 {
+		if v := realPools[b-1].Get(); v != nil {
+			p := v.(*[]float64)
+			if cap(*p) >= n {
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 8)
+				return buf[:n]
+			}
+			realPools[b-1].Put(p)
+		}
+	}
+	buf := make([]float64, n)
+	accountAcquire(int64(cap(buf)) * 8)
+	return buf
+}
+
+// ReleaseReal returns a buffer obtained from AcquireReal to the pool,
+// under the same any-capacity contract as ReleaseComplex.
+func ReleaseReal(buf []float64) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	poolLiveBytes.Add(-int64(c) * 8)
+	buf = buf[:c]
+	realPools[releaseBucket(c)].Put(&buf)
 }
 
 // ForEachEmbeddedRow visits the contiguous last-dimension runs of a
@@ -124,10 +231,11 @@ func PadReal(dst []complex128, dstDims []int, src []float64, srcDims []int) erro
 }
 
 // ForwardND computes the in-place unnormalized forward DFT of a
-// row-major buffer of any rank; every extent must be a power of two.
-// Each axis pass runs its independent lines on the shared worker pool
-// (workers <= 0 means GOMAXPROCS); line transforms write disjoint
-// regions, so the result is bit-identical at any worker count.
+// row-major buffer of any rank and any extents: powers of two run the
+// radix-2 core, 7-smooth extents the mixed-radix plan, everything else
+// Bluestein. Each axis pass runs its independent lines on the shared
+// worker pool (workers <= 0 means GOMAXPROCS); line transforms write
+// disjoint regions, so the result is bit-identical at any worker count.
 func ForwardND(x []complex128, dims []int, workers int) error {
 	return transformND(x, dims, workers, false)
 }
@@ -148,8 +256,8 @@ func InverseND(x []complex128, dims []int, workers int) error {
 func transformND(x []complex128, dims []int, workers int, inverse bool) error {
 	n := 1
 	for _, d := range dims {
-		if !IsPow2(d) {
-			return fmt.Errorf("fft: extent %d is not a power of two", d)
+		if d < 1 {
+			return fmt.Errorf("fft: extent %d is not positive", d)
 		}
 		n *= d
 	}
@@ -165,16 +273,17 @@ func transformND(x []complex128, dims []int, workers int, inverse bool) error {
 	return nil
 }
 
-// axisPass transforms every line of x along the given axis. The twiddle
-// table is computed once and shared (read-only) by all lines; lines are
-// split into at most `workers` contiguous spans so each span needs one
-// scratch buffer, not one per line.
+// axisPass transforms every line of x along the given axis. The plan
+// (twiddle tables, factorization, chirp filter) is cached per length
+// and shared (read-only) by all lines; lines are split into at most
+// `workers` contiguous spans so each span needs one scratch buffer, not
+// one per line.
 func axisPass(x []complex128, dims []int, axis, workers int, inverse bool) {
 	d := dims[axis]
 	if d <= 1 {
 		return
 	}
-	w := twiddles(d)
+	p := planFor(d)
 	stride := 1
 	for k := axis + 1; k < len(dims); k++ {
 		stride *= dims[k]
@@ -183,7 +292,7 @@ func axisPass(x []complex128, dims []int, axis, workers int, inverse bool) {
 	if axis == len(dims)-1 {
 		// Contiguous lines: transform in place.
 		parallel.For(lines, workers, func(i int) {
-			transformTw(x[i*d:(i+1)*d], w, inverse)
+			p.transform(x[i*d:(i+1)*d], inverse)
 		})
 		return
 	}
@@ -207,7 +316,7 @@ func axisPass(x []complex128, dims []int, axis, workers int, inverse bool) {
 			for k := 0; k < d; k++ {
 				scratch[k] = x[base+k*stride]
 			}
-			transformTw(scratch, w, inverse)
+			p.transform(scratch, inverse)
 			for k := 0; k < d; k++ {
 				x[base+k*stride] = scratch[k]
 			}

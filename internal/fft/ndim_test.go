@@ -94,11 +94,14 @@ func TestNDRoundTripAndWorkers(t *testing.T) {
 
 func TestNDRejectsBadShapes(t *testing.T) {
 	x := make([]complex128, 12)
-	if err := ForwardND(x, []int{3, 4}, 1); err == nil {
-		t.Fatal("expected non-power-of-two error")
+	if err := ForwardND(x, []int{3, 4}, 1); err != nil {
+		t.Fatalf("non-power-of-two extents must be accepted now: %v", err)
 	}
 	if err := ForwardND(x, []int{4, 4}, 1); err == nil {
 		t.Fatal("expected length mismatch error")
+	}
+	if err := ForwardND(x, []int{-3, -4}, 1); err == nil {
+		t.Fatal("expected non-positive extent error")
 	}
 }
 
@@ -135,18 +138,29 @@ func TestPadReal(t *testing.T) {
 // TestComplexPoolReuse checks the buffer pool hands back released
 // buffers instead of allocating fresh ones.
 func TestComplexPoolReuse(t *testing.T) {
-	a := AcquireComplex(1000) // rounds capacity to 1024
-	if len(a) != 1000 || cap(a) != 1024 {
+	a := AcquireComplex(1000) // allocates at exact size now, no 1024 rounding
+	if len(a) != 1000 || cap(a) < 1000 {
 		t.Fatalf("len %d cap %d", len(a), cap(a))
 	}
 	a[0] = 42
 	ReleaseComplex(a)
-	b := AcquireComplex(900)
-	// Same bucket: the pooled buffer (cap 1024) must come back.
-	if cap(b) != 1024 {
-		t.Fatalf("pool miss: cap %d", cap(b))
+	// Exact-size caps are filed one bucket down (floor log2) and must be
+	// found again by a same-or-smaller request. sync.Pool randomly drops
+	// Puts under the race detector, so allow a few attempts (a failed
+	// attempt's undersized buffer is deliberately not re-pooled).
+	reused := false
+	for attempt := 0; attempt < 20 && !reused; attempt++ {
+		b := AcquireComplex(900)
+		reused = cap(b) >= 1000
+		if reused {
+			ReleaseComplex(b)
+		} else {
+			ReleaseComplex(AcquireComplex(1000))
+		}
 	}
-	ReleaseComplex(b)
+	if !reused {
+		t.Fatal("pooled buffer never came back")
+	}
 	if AcquireComplex(0) != nil {
 		t.Fatal("AcquireComplex(0) should be nil")
 	}

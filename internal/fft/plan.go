@@ -1,0 +1,252 @@
+package fft
+
+// Line plans: per-length transform strategies that free the engine from
+// the power-of-two constraint. Every 1D line transform routes through a
+// cached plan chosen by length:
+//
+//   - power of two        → the radix-2 butterfly core (transformTw)
+//   - 7-smooth composite  → mixed-radix Cooley–Tukey: odd factors are
+//     peeled recursively (generic small-r DFT combine), the residual
+//     power-of-two block transforms with the radix-2 core
+//   - anything else       → Bluestein's chirp-z algorithm: the length-n
+//     DFT becomes a length-M power-of-two circular convolution
+//     (M >= 2n−1) with a precomputed chirp filter spectrum
+//
+// Plans are immutable once built and cached per length, so repeated
+// axis passes over the same extents (the variogram engine, the
+// samplers) pay the trigonometry once. Per-line scratch comes from the
+// shared buffer pool.
+
+import (
+	"math"
+	"sync"
+)
+
+// FastLen returns the smallest even 5-smooth (2^a·3^b·5^c, a >= 1)
+// length >= n — the preferred padded extent for the real-input engine:
+// within a few percent of n (no power-of-two doubling) while keeping
+// every axis on the fast mixed-radix path, and even so the last-axis
+// real transform can use the pack-two-reals trick. Arbitrary exact
+// lengths remain supported through the Bluestein plan; FastLen is the
+// cheap default, not a requirement.
+func FastLen(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	for m := n; ; m++ {
+		if m%2 != 0 {
+			continue
+		}
+		r := m
+		for r%2 == 0 {
+			r /= 2
+		}
+		for r%3 == 0 {
+			r /= 3
+		}
+		for r%5 == 0 {
+			r /= 5
+		}
+		if r == 1 {
+			return m
+		}
+	}
+}
+
+type planKind uint8
+
+const (
+	planPow2 planKind = iota
+	planMixed
+	planBluestein
+)
+
+// linePlan holds everything needed to transform one line of its length.
+type linePlan struct {
+	n    int
+	kind planKind
+
+	// pow2: w is the half twiddle table of transformTw.
+	// mixed: w is the full table w[t] = exp(-2πi t/n); pw is the half
+	// table of the residual power-of-two block.
+	w       []complex128
+	factors []int // mixed: odd prime factors, in dividing order
+	pow2    int   // mixed: residual power-of-two block length
+	pw      []complex128
+
+	// bluestein
+	m     int          // power-of-two convolution length >= 2n-1
+	wm    []complex128 // half twiddle table for length m
+	chirp []complex128 // a_j = exp(-iπ j²/n)
+	bfft  []complex128 // forward FFT_m of the chirp filter
+}
+
+var planCache sync.Map // int -> *linePlan
+
+func planFor(n int) *linePlan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*linePlan)
+	}
+	p := newPlan(n)
+	if v, loaded := planCache.LoadOrStore(n, p); loaded {
+		return v.(*linePlan)
+	}
+	return p
+}
+
+// fullTwiddles returns w[t] = exp(-2πi t/n) for t in [0, n).
+func fullTwiddles(n int) []complex128 {
+	w := make([]complex128, n)
+	for t := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(t) / float64(n))
+		w[t] = complex(c, s)
+	}
+	return w
+}
+
+func newPlan(n int) *linePlan {
+	if IsPow2(n) {
+		return &linePlan{n: n, kind: planPow2, w: twiddles(n)}
+	}
+	// Peel 7-smooth factors: odd primes first, the power-of-two residue
+	// last, so every recursion path bottoms out in one contiguous
+	// radix-2 block.
+	pow2 := 1
+	rest := n
+	for rest%2 == 0 {
+		pow2 *= 2
+		rest /= 2
+	}
+	var odd []int
+	for _, f := range []int{3, 5, 7} {
+		for rest%f == 0 {
+			odd = append(odd, f)
+			rest /= f
+		}
+	}
+	if rest == 1 {
+		return &linePlan{
+			n: n, kind: planMixed,
+			w: fullTwiddles(n), factors: odd,
+			pow2: pow2, pw: twiddles(pow2),
+		}
+	}
+	// Bluestein: X[k] = a_k · (u ⊛ b)[k] with u_j = x_j·a_j,
+	// a_j = exp(-iπ j²/n), b_l = exp(+iπ l²/n) embedded circularly.
+	m := NextPow2(2*n - 1)
+	p := &linePlan{n: n, kind: planBluestein, m: m, wm: twiddles(m)}
+	p.chirp = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		t := (j * j) % (2 * n) // exp(-iπ j²/n) has period 2n in j²
+		s, c := math.Sincos(-math.Pi * float64(t) / float64(n))
+		p.chirp[j] = complex(c, s)
+	}
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		v := complex(real(p.chirp[j]), -imag(p.chirp[j]))
+		b[j] = v
+		if j > 0 {
+			b[m-j] = v
+		}
+	}
+	transformTw(b, p.wm, false)
+	p.bfft = b
+	return p
+}
+
+// transform runs the unnormalized DFT (or unnormalized inverse DFT) of
+// one line in place. len(x) must equal p.n.
+func (p *linePlan) transform(x []complex128, inverse bool) {
+	switch p.kind {
+	case planPow2:
+		transformTw(x, p.w, inverse)
+	case planMixed:
+		scratch := AcquireComplex(p.n)
+		copy(scratch, x)
+		p.mixedRec(x, scratch, p.n, 1, 1, p.factors, inverse)
+		ReleaseComplex(scratch)
+	default:
+		p.bluestein(x, inverse)
+	}
+}
+
+// tw returns the table twiddle at index t (conjugated for inverses).
+func (p *linePlan) tw(t int, inverse bool) complex128 {
+	v := p.w[t]
+	if inverse {
+		return complex(real(v), -imag(v))
+	}
+	return v
+}
+
+// mixedRec computes dst[0:n] = DFT_n of the strided sequence src[0],
+// src[stride], …, peeling factors[0] by decimation in time; mult is
+// p.n/n, the spacing of this level's twiddles in the full table. With
+// factors exhausted, n is the residual power-of-two block: gather and
+// run the radix-2 core.
+func (p *linePlan) mixedRec(dst, src []complex128, n, stride, mult int, factors []int, inverse bool) {
+	if len(factors) == 0 {
+		for j := 0; j < n; j++ {
+			dst[j] = src[j*stride]
+		}
+		if n > 1 {
+			transformTw(dst, p.pw, inverse)
+		}
+		return
+	}
+	r := factors[0]
+	m := n / r
+	for j2 := 0; j2 < r; j2++ {
+		p.mixedRec(dst[j2*m:(j2+1)*m], src[j2*stride:], m, stride*r, mult*r, factors[1:], inverse)
+	}
+	// Combine: for each residue k2, an r-point DFT of the twiddled
+	// sub-spectra u_{j2} = S_{j2}[k2]·w_n^{j2·k2} lands in the slots
+	// k2 + m·k1.
+	var u [8]complex128
+	rs := p.n / r
+	for k2 := 0; k2 < m; k2++ {
+		for j2 := 0; j2 < r; j2++ {
+			u[j2] = dst[j2*m+k2] * p.tw(mult*j2*k2, inverse)
+		}
+		for k1 := 0; k1 < r; k1++ {
+			s := u[0]
+			for j2 := 1; j2 < r; j2++ {
+				s += u[j2] * p.tw((j2*k1%r)*rs, inverse)
+			}
+			dst[k1*m+k2] = s
+		}
+	}
+}
+
+// bluestein runs the chirp-z transform. The unnormalized inverse DFT is
+// the conjugate of the forward on conjugated input.
+func (p *linePlan) bluestein(x []complex128, inverse bool) {
+	n, m := p.n, p.m
+	if inverse {
+		for i, v := range x {
+			x[i] = complex(real(v), -imag(v))
+		}
+	}
+	u := AcquireComplex(m)
+	for j := 0; j < n; j++ {
+		u[j] = x[j] * p.chirp[j]
+	}
+	for j := n; j < m; j++ {
+		u[j] = 0
+	}
+	transformTw(u, p.wm, false)
+	for i := range u {
+		u[i] *= p.bfft[i]
+	}
+	transformTw(u, p.wm, true)
+	s := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = p.chirp[k] * u[k] * s
+	}
+	ReleaseComplex(u)
+	if inverse {
+		for i, v := range x {
+			x[i] = complex(real(v), -imag(v))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package fft
+
+// Real-input transforms in half-spectrum form. A real field's spectrum
+// is conjugate-symmetric, so only the last-axis bins k = 0..n/2 need to
+// be stored: ForwardRealND produces (and InverseRealND consumes) a
+// row-major array whose last extent is n/2+1 instead of n — half the
+// complex storage of the full spectrum, and none of the redundant
+// arithmetic.
+//
+// The last axis is the real<->complex boundary. For even extents it
+// uses the classic pack-two-reals trick: the n real samples of a line
+// are packed into an n/2-point complex FFT whose output is unpicked
+// into the n/2+1 hermitian bins with one extra twiddle pass — a real
+// line transform at roughly half the cost of a complex one. Odd extents
+// (exact Bluestein-length padding) fall back to a full complex line
+// transform and keep the first (n+1)/2 bins. Every other axis is an
+// ordinary complex axis pass over the half-width array, so the whole
+// pipeline inherits the plan layer's any-length support and the
+// bit-identical-at-any-worker-count property of axisPass.
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/parallel"
+)
+
+// HalfLen returns the element count of the half-spectrum of a real
+// field with the given dims: the last axis stores dims[last]/2+1 bins,
+// every other axis its full extent.
+func HalfLen(dims []int) int {
+	if len(dims) == 0 {
+		return 0
+	}
+	n := dims[len(dims)-1]/2 + 1
+	for _, d := range dims[:len(dims)-1] {
+		n *= d
+	}
+	return n
+}
+
+// halfDims returns dims with the last extent replaced by its
+// half-spectrum bin count.
+func halfDims(dims []int) []int {
+	hd := make([]int, len(dims))
+	copy(hd, dims)
+	hd[len(dims)-1] = dims[len(dims)-1]/2 + 1
+	return hd
+}
+
+// EmbedReal zero-fills dst (shape dstDims) and copies the real field
+// src (shape srcDims, same rank, extents <= dstDims) into its leading
+// corner — the real-typed sibling of PadReal, feeding ForwardRealND
+// without a complex-widened staging buffer.
+func EmbedReal(dst []float64, dstDims []int, src []float64, srcDims []int) error {
+	n := 1
+	for _, d := range dstDims {
+		n *= d
+	}
+	if len(dst) != n {
+		return fmt.Errorf("fft: pad buffer length %d != product of %v", len(dst), dstDims)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return ForEachEmbeddedRow(srcDims, dstDims, func(srcOff, dstOff, n int) {
+		copy(dst[dstOff:dstOff+n], src[srcOff:srcOff+n])
+	})
+}
+
+// realTwiddles returns exp(-2πik/n) for k = 0..n/2, the unpack/repack
+// factors of the even-length real last-axis transform.
+func realTwiddles(n int) []complex128 {
+	w := make([]complex128, n/2+1)
+	for k := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(c, s)
+	}
+	return w
+}
+
+// forLineSpans splits `lines` into at most `workers` contiguous spans
+// on the shared pool, hands each span one pooled complex scratch of
+// length scratchLen, and calls fn once per line — the fan-out pattern
+// of every last-axis real<->complex pass. Per-line work is independent
+// and span boundaries don't affect arithmetic, so results are
+// bit-identical at any worker count.
+func forLineSpans(lines, workers, scratchLen int, fn func(y []complex128, line int)) {
+	spans := parallel.Resolve(workers, lines)
+	per := (lines + spans - 1) / spans
+	parallel.For(spans, spans, func(s int) {
+		lo, hi := s*per, (s+1)*per
+		if hi > lines {
+			hi = lines
+		}
+		if lo >= hi {
+			return
+		}
+		y := AcquireComplex(scratchLen)
+		defer ReleaseComplex(y)
+		for line := lo; line < hi; line++ {
+			fn(y, line)
+		}
+	})
+}
+
+// ForwardRealND computes the unnormalized forward DFT of the real
+// row-major field src (shape dims, any extents) into dst in
+// half-spectrum form; len(dst) must be HalfLen(dims). dst is fully
+// overwritten (its prior contents are irrelevant, so pooled buffers
+// need no zeroing). The result is bit-identical at any worker count.
+func ForwardRealND(src []float64, dims []int, dst []complex128, workers int) error {
+	nd := len(dims)
+	if nd == 0 {
+		return fmt.Errorf("fft: rank-0 transform")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("fft: extent %d is not positive", d)
+		}
+		total *= d
+	}
+	if len(src) != total {
+		return fmt.Errorf("fft: real buffer length %d != product of %v", len(src), dims)
+	}
+	if len(dst) != HalfLen(dims) {
+		return fmt.Errorf("fft: half-spectrum length %d != HalfLen %d", len(dst), HalfLen(dims))
+	}
+	nx := dims[nd-1]
+	hc := nx/2 + 1
+	lines := total / nx
+
+	if nx%2 == 0 && nx > 1 {
+		// Even last axis: pack pairs into an nx/2-point complex FFT,
+		// then unpick the hermitian bins.
+		N := nx / 2
+		p := planFor(N)
+		rw := realTwiddles(nx)
+		forLineSpans(lines, workers, N, func(y []complex128, li int) {
+			in := src[li*nx : (li+1)*nx]
+			out := dst[li*hc : (li+1)*hc]
+			for j := 0; j < N; j++ {
+				y[j] = complex(in[2*j], in[2*j+1])
+			}
+			p.transform(y, false)
+			for k := 0; k <= N; k++ {
+				yk := y[k%N]
+				ynk := y[(N-k)%N]
+				cynk := complex(real(ynk), -imag(ynk))
+				e := (yk + cynk) * 0.5
+				o := (yk - cynk) * complex(0, -0.5)
+				out[k] = e + rw[k]*o
+			}
+		})
+	} else {
+		// Odd (or unit) last axis: full complex line transform, keep
+		// the first hc bins.
+		p := planFor(nx)
+		forLineSpans(lines, workers, nx, func(y []complex128, li int) {
+			in := src[li*nx : (li+1)*nx]
+			for j, v := range in {
+				y[j] = complex(v, 0)
+			}
+			p.transform(y, false)
+			copy(dst[li*hc:(li+1)*hc], y[:hc])
+		})
+	}
+
+	// Remaining axes: ordinary complex passes over the half-width array.
+	hd := halfDims(dims)
+	for axis := nd - 2; axis >= 0; axis-- {
+		axisPass(dst, hd, axis, workers, false)
+	}
+	return nil
+}
+
+// InverseRealND inverts ForwardRealND: spec is a half-spectrum of shape
+// dims (it is clobbered), dst receives the real field and must have
+// length = product of dims. The normalization matches Inverse/InverseND:
+// InverseRealND(ForwardRealND(x)) == x. Bit-identical at any worker
+// count.
+func InverseRealND(spec []complex128, dims []int, dst []float64, workers int) error {
+	nd := len(dims)
+	if nd == 0 {
+		return fmt.Errorf("fft: rank-0 transform")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("fft: extent %d is not positive", d)
+		}
+		total *= d
+	}
+	if len(dst) != total {
+		return fmt.Errorf("fft: real buffer length %d != product of %v", len(dst), dims)
+	}
+	if len(spec) != HalfLen(dims) {
+		return fmt.Errorf("fft: half-spectrum length %d != HalfLen %d", len(spec), HalfLen(dims))
+	}
+	nx := dims[nd-1]
+	hc := nx/2 + 1
+	lines := total / nx
+	lead := lines // product of leading extents
+
+	// Leading axes first: unnormalized inverse passes at fixed last-axis
+	// bin; per-line hermitian symmetry along the last axis survives them.
+	hd := halfDims(dims)
+	for axis := 0; axis < nd-1; axis++ {
+		axisPass(spec, hd, axis, workers, true)
+	}
+
+	if nx%2 == 0 && nx > 1 {
+		// Even last axis: rebuild the packed N-point spectrum from the
+		// hermitian bins, one unnormalized inverse FFT of length N per
+		// line, then unpack interleaved reals.
+		N := nx / 2
+		p := planFor(N)
+		rw := realTwiddles(nx)
+		scale := 1 / (float64(N) * float64(lead))
+		forLineSpans(lines, workers, N, func(y []complex128, li int) {
+			in := spec[li*hc : (li+1)*hc]
+			out := dst[li*nx : (li+1)*nx]
+			for k := 0; k < N; k++ {
+				xk := in[k]
+				xnk := in[N-k]
+				cxnk := complex(real(xnk), -imag(xnk))
+				e := (xk + cxnk) * 0.5
+				o := (xk - cxnk) * 0.5 * complex(real(rw[k]), -imag(rw[k]))
+				y[k] = e + o*complex(0, 1)
+			}
+			p.transform(y, true)
+			for j := 0; j < N; j++ {
+				out[2*j] = real(y[j]) * scale
+				out[2*j+1] = imag(y[j]) * scale
+			}
+		})
+	} else {
+		// Odd (or unit) last axis: mirror the hermitian bins into a full
+		// line, one unnormalized complex inverse, keep the real parts.
+		p := planFor(nx)
+		scale := 1 / (float64(nx) * float64(lead))
+		forLineSpans(lines, workers, nx, func(y []complex128, li int) {
+			in := spec[li*hc : (li+1)*hc]
+			out := dst[li*nx : (li+1)*nx]
+			copy(y[:hc], in)
+			for k := hc; k < nx; k++ {
+				v := in[nx-k]
+				y[k] = complex(real(v), -imag(v))
+			}
+			p.transform(y, true)
+			for j := 0; j < nx; j++ {
+				out[j] = real(y[j]) * scale
+			}
+		})
+	}
+	return nil
+}
+
+// MulConj sets a[i] = conj(a[i])·b[i] — the cross-correlation spectrum
+// of the two real signals whose half-spectra a and b hold. The product
+// of a conjugated hermitian spectrum with a hermitian spectrum is
+// hermitian, so the result is a valid InverseRealND input.
+func MulConj(a, b []complex128) {
+	for i, v := range a {
+		a[i] = complex(real(v), -imag(v)) * b[i]
+	}
+}
+
+// AbsSq sets a[i] = |a[i]|² — the autocorrelation spectrum of the real
+// signal whose half-spectrum a holds. Real and even, hence hermitian: a
+// valid InverseRealND input.
+func AbsSq(a []complex128) {
+	for i, v := range a {
+		a[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
+	}
+}

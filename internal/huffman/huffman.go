@@ -221,7 +221,63 @@ func Encode(symbols []uint16) []byte {
 // ErrCorrupt reports a malformed Huffman stream.
 var ErrCorrupt = errors.New("huffman: corrupt stream")
 
-// Decode reverses Encode.
+// decodeTable is the dense canonical decoder state: per code length,
+// the canonical code of that length's first symbol and where that
+// symbol sits in the (length, symbol)-sorted symbol array. A code of
+// length l decodes as syms[offset[l] + (code − firstCode[l])] whenever
+// code − firstCode[l] < count[l] — the classic canonical-Huffman
+// first-code/first-symbol walk, with no per-bit map lookups and one
+// flat symbol array instead of per-entry hashing.
+type decodeTable struct {
+	maxLen    int
+	firstCode [MaxCodeLen + 1]uint64
+	count     [MaxCodeLen + 1]int
+	offset    [MaxCodeLen + 1]int
+	syms      []uint16
+}
+
+// newDecodeTable builds the dense table from the (symbol → length)
+// map, sorting symbols canonically (shorter lengths first, then symbol
+// order). The code assignment it encodes is exactly the one
+// canonical() produces — consecutive codes within a length, shifted
+// left across lengths — so the walk decodes precisely the codes the
+// old map-keyed decoder accepted.
+func newDecodeTable(lengths map[uint16]uint8) *decodeTable {
+	t := &decodeTable{}
+	type sl struct {
+		sym uint16
+		l   uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		list = append(list, sl{s, l})
+		if int(l) > t.maxLen {
+			t.maxLen = int(l)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].l != list[j].l {
+			return list[i].l < list[j].l
+		}
+		return list[i].sym < list[j].sym
+	})
+	t.syms = make([]uint16, len(list))
+	for i, e := range list {
+		t.count[e.l]++
+		t.syms[i] = e.sym
+	}
+	var code uint64
+	pos := 0
+	for l := 1; l <= t.maxLen; l++ {
+		t.firstCode[l] = code
+		t.offset[l] = pos
+		pos += t.count[l]
+		code = (code + uint64(t.count[l])) << 1
+	}
+	return t
+}
+
+// Decode reverses Encode, walking the dense canonical table.
 func Decode(data []byte) ([]uint16, error) {
 	if len(data) < 8 {
 		return nil, ErrCorrupt
@@ -250,35 +306,28 @@ func Decode(data []byte) ([]uint16, error) {
 	if distinct == 0 {
 		return nil, ErrCorrupt
 	}
-	codes := canonical(lengths)
-	// decoding table keyed by (length, code)
-	type key struct {
-		len  uint8
-		code uint32
+	payload := data[8+3*distinct:]
+	// Every symbol consumes at least one payload bit, so a declared
+	// count beyond the payload's bit budget is provably corrupt —
+	// reject it before allocating count elements (a 4-byte header
+	// field could otherwise demand a multi-GB slice).
+	if count > 8*len(payload) {
+		return nil, ErrCorrupt
 	}
-	table := make(map[key]uint16, len(codes))
-	maxLen := uint8(0)
-	for s, e := range codes {
-		table[key{e.len, e.code}] = s
-		if e.len > maxLen {
-			maxLen = e.len
-		}
-	}
-	r := bitstream.NewReader(data[8+3*distinct:])
+	tbl := newDecodeTable(lengths)
+	r := bitstream.NewReader(payload)
 	out := make([]uint16, 0, count)
 	for len(out) < count {
-		var code uint32
-		var l uint8
+		var code uint64
 		found := false
-		for l < maxLen {
+		for l := 1; l <= tbl.maxLen; l++ {
 			b, err := r.ReadBit()
 			if err != nil {
 				return nil, fmt.Errorf("huffman: truncated payload: %w", err)
 			}
-			code = code<<1 | uint32(b)
-			l++
-			if s, ok := table[key{l, code}]; ok {
-				out = append(out, s)
+			code = code<<1 | uint64(b)
+			if d := code - tbl.firstCode[l]; code >= tbl.firstCode[l] && d < uint64(tbl.count[l]) {
+				out = append(out, tbl.syms[tbl.offset[l]+int(d)])
 				found = true
 				break
 			}

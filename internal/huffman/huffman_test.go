@@ -2,9 +2,11 @@ package huffman
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
+	"lossycorr/internal/bitstream"
 	"lossycorr/internal/xrand"
 )
 
@@ -121,4 +123,227 @@ func TestManyDistinctSymbols(t *testing.T) {
 		s[i] = uint16(rng.Intn(65536))
 	}
 	roundtrip(t, s)
+}
+
+// decodeMapRef is the pre-dense-table decoder, retained verbatim: a
+// map keyed by (length, code) walked bit by bit. The dense canonical
+// decoder is pinned byte-identical against it below.
+func decodeMapRef(data []byte) ([]uint16, error) {
+	if len(data) < 8 {
+		return nil, ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(data[0:]))
+	distinct := int(binary.LittleEndian.Uint32(data[4:]))
+	if count < 0 || distinct < 0 || distinct > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	if len(data) < 8+3*distinct {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[uint16]uint8, distinct)
+	for i := 0; i < distinct; i++ {
+		off := 8 + 3*i
+		sym := binary.LittleEndian.Uint16(data[off:])
+		l := data[off+2]
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		lengths[sym] = l
+	}
+	if count == 0 {
+		return []uint16{}, nil
+	}
+	if distinct == 0 {
+		return nil, ErrCorrupt
+	}
+	codes := canonical(lengths)
+	type key struct {
+		len  uint8
+		code uint32
+	}
+	table := make(map[key]uint16, len(codes))
+	maxLen := uint8(0)
+	for s, e := range codes {
+		table[key{e.len, e.code}] = s
+		if e.len > maxLen {
+			maxLen = e.len
+		}
+	}
+	r := bitstream.NewReader(data[8+3*distinct:])
+	out := make([]uint16, 0, count)
+	for len(out) < count {
+		var code uint32
+		var l uint8
+		found := false
+		for l < maxLen {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | uint32(b)
+			l++
+			if s, ok := table[key{l, code}]; ok {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}
+
+// refStreams is the corpus the dense decoder is pinned against:
+// empty, single-symbol (one occurrence and repeated), two-symbol,
+// uniform, skewed, and full-range random streams.
+func refStreams() [][]uint16 {
+	streams := [][]uint16{
+		{},
+		{7},
+		{7, 7, 7, 7, 7},
+		{0, 65535, 0, 0, 65535},
+	}
+	rng := xrand.New(17)
+	for c := 0; c < 30; c++ {
+		n := rng.Intn(3000)
+		alphabet := 1 + rng.Intn(1<<uint(1+rng.Intn(16)))
+		s := make([]uint16, n)
+		for i := range s {
+			if c%3 == 0 && rng.Float64() < 0.9 {
+				s[i] = uint16(alphabet / 2) // heavy skew every third case
+			} else {
+				s[i] = uint16(rng.Intn(alphabet))
+			}
+		}
+		streams = append(streams, s)
+	}
+	return streams
+}
+
+// TestDenseDecoderMatchesMapRef pins the dense canonical decoder
+// byte-identical against the retained map-keyed decoder over the
+// reference corpus, and on truncated streams checks both fail.
+func TestDenseDecoderMatchesMapRef(t *testing.T) {
+	for ci, s := range refStreams() {
+		enc := Encode(s)
+		want, wantErr := decodeMapRef(enc)
+		got, gotErr := Decode(enc)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("case %d: error mismatch: ref %v vs dense %v", ci, wantErr, gotErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: length %d vs ref %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d symbol %d: %d vs ref %d", ci, i, got[i], want[i])
+			}
+		}
+		if len(enc) > 9 {
+			trunc := enc[:len(enc)-1]
+			_, refErr := decodeMapRef(trunc)
+			_, denseErr := Decode(trunc)
+			if (refErr == nil) != (denseErr == nil) {
+				t.Fatalf("case %d truncated: ref err %v vs dense err %v", ci, refErr, denseErr)
+			}
+		}
+	}
+}
+
+// FuzzRoundTrip fuzzes Encode→Decode over arbitrary symbol streams
+// (bytes pairwise-widened to uint16), including the empty and
+// single-symbol seeds, and cross-checks the dense decoder against the
+// map reference on every input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 0x00})
+	f.Add([]byte{0x07, 0x00, 0x07, 0x00, 0x07, 0x00})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s := make([]uint16, len(raw)/2)
+		for i := range s {
+			s[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+		}
+		enc := Encode(s)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(dec) != len(s) {
+			t.Fatalf("length %d want %d", len(dec), len(s))
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				t.Fatalf("symbol %d: got %d want %d", i, dec[i], s[i])
+			}
+		}
+		ref, refErr := decodeMapRef(enc)
+		if refErr != nil {
+			t.Fatalf("map reference failed on valid stream: %v", refErr)
+		}
+		for i := range ref {
+			if dec[i] != ref[i] {
+				t.Fatalf("dense decoder diverges from map reference at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeArbitrary feeds arbitrary bytes to Decode: it may reject
+// them, but must never panic, and whenever both decoders accept, the
+// outputs must agree.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode([]uint16{1, 2, 3, 1, 2, 3, 9}))
+	f.Add([]byte{5, 0, 0, 0, 2, 0, 0, 0, 1, 0, 3, 2, 0, 5, 0xaa, 0xbb})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, gotErr := Decode(raw)
+		ref, refErr := decodeMapRef(raw)
+		if (gotErr == nil) != (refErr == nil) {
+			t.Fatalf("error mismatch: dense %v vs ref %v", gotErr, refErr)
+		}
+		if gotErr == nil {
+			if len(got) != len(ref) {
+				t.Fatalf("length %d vs ref %d", len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("output diverges at %d", i)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDecode measures the decompression hot loop the dense table
+// exists for, against the retained map-keyed reference.
+func BenchmarkDecode(b *testing.B) {
+	rng := xrand.New(3)
+	s := make([]uint16, 1<<16)
+	for i := range s {
+		if rng.Float64() < 0.9 {
+			s[i] = 42
+		} else {
+			s[i] = uint16(rng.Intn(512))
+		}
+	}
+	enc := Encode(s)
+	b.Run("dense", func(b *testing.B) {
+		b.SetBytes(int64(2 * len(s)))
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mapref", func(b *testing.B) {
+		b.SetBytes(int64(2 * len(s)))
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeMapRef(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -12,18 +12,30 @@ package variogram
 // where m is the domain indicator (1 on the field, 0 in the padding),
 // w = z²·m, c_ab(h) = Σ_x a(x)·b(x+h) is linear cross-correlation, and
 // c_zz / c_mm are the autocorrelations of the padded field and mask.
-// Padding each extent to NextPow2(dim + MaxLag) makes the circular
+// Padding each extent to at least dim + MaxLag makes the circular
 // correlations linear for every |h_k| <= MaxLag, so the mask terms
 // reproduce the non-periodic boundary handling of the direct scan
 // exactly: N(h) counts exactly the pairs scanOffset visits.
 //
-// Three forward transforms (z, z², m) and two inverse transforms
-// (|Z|² + i·|M|² packed into one — both autocorrelations are real — and
-// conj(W)·M) turn O(N·L^d) into O(P log P) with P the padded size. The
-// per-offset results are folded into the same rounded-distance bins, in
-// the same canonical enumeration order, as the direct scan; pair counts
-// agree exactly and Gamma to roundoff (~1e-12 relative on random
-// fields; the equivalence test pins 1e-9).
+// Everything in sight is real, so the engine runs in half-spectrum
+// form: three real-input forward transforms (z, z²·m, m) produce
+// hermitian half-spectra (last axis stored as n/2+1 bins), the spectra
+// combine pointwise — conj(W)·M for the cross-correlation, |Z|² and
+// |M|² for the autocorrelations — and three real inverse transforms
+// return the correlation planes as plain float64 arrays. Compared with
+// the previous all-complex engine (three padded complex buffers at
+// NextPow2 extents), the working set drops from 6 to 4 padded-size
+// float64 planes and the padding itself shrinks from NextPow2(dim+L)
+// to FastLen(dim+L) (the next even 5-smooth length, within a few
+// percent of exact) — together well under half the bytes. Arbitrary
+// exact extents remain available through the fft package's Bluestein
+// plan; padLenFn is swappable in tests to push this whole pipeline
+// through that path.
+//
+// The per-offset results are folded into the same rounded-distance
+// bins, in the same canonical enumeration order, as the direct scan;
+// pair counts agree exactly and Gamma to roundoff (~1e-12 relative on
+// random fields; the equivalence test pins 1e-9).
 
 import (
 	"fmt"
@@ -33,6 +45,12 @@ import (
 	"lossycorr/internal/fft"
 	"lossycorr/internal/parallel"
 )
+
+// padLenFn chooses the padded extent for a required minimum length.
+// FastLen keeps every axis on the mixed-radix fast path at a few
+// percent of slack; tests swap in an identity to drive the exact
+// (Bluestein) lengths through the full engine.
+var padLenFn = fft.FastLen
 
 // fftScanField computes the exact binned variogram through the
 // transform identities above. The result is independent of the worker
@@ -48,57 +66,83 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	pad := make([]int, nd)
 	total := 1
 	for k, d := range dims {
-		pad[k] = fft.NextPow2(d + nb)
+		pad[k] = padLenFn(d + nb)
+		if pad[k] < d+nb {
+			return nil, fmt.Errorf("variogram: padded extent %d < %d", pad[k], d+nb)
+		}
 		total *= pad[k]
 	}
+	half := fft.HalfLen(pad)
 
-	// z, z²·m, and m, zero-padded. w reuses z's padding: the padded
-	// square of the padded field is exactly z²·m.
-	bz := fft.AcquireComplex(total)
-	defer fft.ReleaseComplex(bz)
-	if err := fft.PadReal(bz, pad, f.Data, dims); err != nil {
+	// r is the one real staging plane: padded z, then (squared in
+	// place) z²·m, then the indicator mask — and finally it is reused
+	// as the c_wm output plane.
+	r := fft.AcquireReal(total)
+	defer fft.ReleaseReal(r)
+	if err := fft.EmbedReal(r, pad, f.Data, dims); err != nil {
 		return nil, err
 	}
-	bw := fft.AcquireComplex(total)
-	defer fft.ReleaseComplex(bw)
-	for i, v := range bz {
-		r := real(v)
-		bw[i] = complex(r*r, 0)
+	spZ := fft.AcquireComplex(half)
+	defer func() { fft.ReleaseComplex(spZ) }()
+	if err := fft.ForwardRealND(r, pad, spZ, o.Workers); err != nil {
+		return nil, err
 	}
-	bm := fft.AcquireComplex(total)
-	defer fft.ReleaseComplex(bm)
-	for i := range bm {
-		bm[i] = 0
+	// The square of the padded field is exactly z²·m: zero padding
+	// stays zero.
+	for i, v := range r {
+		r[i] = v * v
+	}
+	spW := fft.AcquireComplex(half)
+	defer func() { fft.ReleaseComplex(spW) }()
+	if err := fft.ForwardRealND(r, pad, spW, o.Workers); err != nil {
+		return nil, err
+	}
+	for i := range r {
+		r[i] = 0
 	}
 	if err := fft.ForEachEmbeddedRow(dims, pad, func(_, dstOff, n int) {
 		for i := dstOff; i < dstOff+n; i++ {
-			bm[i] = 1
+			r[i] = 1
 		}
 	}); err != nil {
 		return nil, err
 	}
+	spM := fft.AcquireComplex(half)
+	defer func() { fft.ReleaseComplex(spM) }()
+	if err := fft.ForwardRealND(r, pad, spM, o.Workers); err != nil {
+		return nil, err
+	}
 
-	for _, buf := range [][]complex128{bz, bw, bm} {
-		if err := fft.ForwardND(buf, pad, o.Workers); err != nil {
-			return nil, err
-		}
-	}
-	// Spectra products: bw ← conj(W)·M (the w⋆m cross-correlation),
-	// bz ← |Z|² + i·|M|² (both autocorrelations, packed: each inverse
-	// transform is real, so one complex inverse recovers the pair).
-	for i, m := range bm {
-		w := bw[i]
-		bw[i] = complex(real(w), -imag(w)) * m
-		z := bz[i]
-		bz[i] = complex(real(z)*real(z)+imag(z)*imag(z),
-			real(m)*real(m)+imag(m)*imag(m))
-	}
-	if err := fft.InverseND(bz, pad, o.Workers); err != nil {
+	// Pointwise spectra, all hermitian: spW ← conj(W)·M (the w⋆m
+	// cross-correlation), spZ ← |Z|², spM ← |M|².
+	fft.MulConj(spW, spM)
+	fft.AbsSq(spZ)
+	fft.AbsSq(spM)
+
+	// Three real inverses; each spectrum is released as soon as its
+	// correlation plane exists, so at most three half-spectra plus one
+	// real plane — or two half-spectra plus two real planes — are ever
+	// live at once.
+	cwm := r // z and z²·m are spent; reuse the staging plane
+	if err := fft.InverseRealND(spW, pad, cwm, o.Workers); err != nil {
 		return nil, err
 	}
-	if err := fft.InverseND(bw, pad, o.Workers); err != nil {
+	fft.ReleaseComplex(spW)
+	spW = nil
+	czz := fft.AcquireReal(total)
+	defer fft.ReleaseReal(czz)
+	if err := fft.InverseRealND(spZ, pad, czz, o.Workers); err != nil {
 		return nil, err
 	}
+	fft.ReleaseComplex(spZ)
+	spZ = nil
+	cmm := fft.AcquireReal(total)
+	defer fft.ReleaseReal(cmm)
+	if err := fft.InverseRealND(spM, pad, cmm, o.Workers); err != nil {
+		return nil, err
+	}
+	fft.ReleaseComplex(spM)
+	spM = nil
 
 	// Fold per-offset correlations into distance bins, in the same
 	// canonical order as the direct scan.
@@ -129,11 +173,11 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 					neg += -h * pStride[k]
 				}
 			}
-			n := int64(math.Round(imag(bz[idx])))
+			n := int64(math.Round(cmm[idx]))
 			if n <= 0 {
 				continue
 			}
-			d := real(bw[idx]) + real(bw[neg]) - 2*real(bz[idx])
+			d := cwm[idx] + cwm[neg] - 2*czz[idx]
 			if d < 0 { // roundoff on (near-)constant fields
 				d = 0
 			}
