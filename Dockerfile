@@ -1,0 +1,15 @@
+# corrcompd: the analysis-as-a-service daemon, built static on the
+# stdlib-only module so the runtime stage is a bare scratch image.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/corrcompd ./cmd/corrcompd
+
+FROM scratch
+COPY --from=build /out/corrcompd /corrcompd
+# Configuration is entirely CORRCOMPD_* environment variables; see
+# internal/service/config.go and the README quickstart.
+ENV CORRCOMPD_ADDR=:8080
+EXPOSE 8080
+ENTRYPOINT ["/corrcompd"]

@@ -1,0 +1,32 @@
+// Command corrcompd serves the correlation-analysis pipeline over
+// HTTP: analyze / measure / predict endpoints with async jobs, a
+// content-addressed result cache, and cooperative cancellation.
+// All configuration is environment variables (CORRCOMPD_*); see
+// internal/service.Config for the full list.
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lossycorr/internal/service"
+)
+
+func main() {
+	cfg, err := service.ConfigFromEnv()
+	if err != nil {
+		log.Fatalln("corrcompd:", err)
+	}
+	srv := service.New(cfg)
+	defer srv.Close()
+	srv.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		log.Fatalln("corrcompd:", err)
+	}
+}

@@ -5,6 +5,7 @@
 package compress
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -24,17 +25,37 @@ type Compressor interface {
 	Decompress(data []byte) (*grid.Grid, error)
 }
 
-// Result reports one compression measurement.
+// Result reports one compression measurement. The JSON field names
+// are the service layer's wire contract; PSNR can be +Inf for perfect
+// reconstructions, which encoding/json cannot represent, so the
+// service layer marshals results with Result's own MarshalJSON that
+// clamps non-finite values.
 type Result struct {
-	Compressor     string
-	ErrorBound     float64
-	OriginalSize   int
-	CompressedSize int
-	Ratio          float64 // OriginalSize / CompressedSize
-	MaxAbsError    float64
-	MSE            float64
-	PSNR           float64 // dB, relative to the field's value range
-	BoundOK        bool
+	Compressor     string  `json:"compressor"`
+	ErrorBound     float64 `json:"errorBound"`
+	OriginalSize   int     `json:"originalSize"`
+	CompressedSize int     `json:"compressedSize"`
+	Ratio          float64 `json:"ratio"` // OriginalSize / CompressedSize
+	MaxAbsError    float64 `json:"maxAbsError"`
+	MSE            float64 `json:"mse"`
+	PSNR           float64 `json:"psnr"` // dB, relative to the field's value range
+	BoundOK        bool    `json:"boundOK"`
+}
+
+// MarshalJSON encodes the result with non-finite PSNR values clamped
+// to a large sentinel (±1e308) so a perfect reconstruction (+Inf dB)
+// survives the trip through JSON, which has no infinity literal.
+func (r Result) MarshalJSON() ([]byte, error) {
+	type wire Result // drop the method to avoid recursion
+	w := wire(r)
+	if math.IsInf(w.PSNR, 1) {
+		w.PSNR = 1e308
+	} else if math.IsInf(w.PSNR, -1) {
+		w.PSNR = -1e308
+	} else if math.IsNaN(w.PSNR) {
+		w.PSNR = 0
+	}
+	return json.Marshal(w)
 }
 
 // Run compresses, decompresses, and measures g with c at absErr — the

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lossycorr/internal/compress"
@@ -26,11 +27,12 @@ import (
 const DefaultWindow = 32
 
 // Statistics are the paper's three correlation statistics for a field.
+// The JSON field names are the service layer's wire contract.
 type Statistics struct {
-	GlobalRange   float64 // estimated global variogram range (Figures 3, 4)
-	GlobalSill    float64 // fitted sill (≈ field variance)
-	LocalRangeStd float64 // std of local variogram ranges, H windows (Figure 5, 7-left)
-	LocalSVDStd   float64 // std of local SVD truncation levels (Figure 6, 7-right)
+	GlobalRange   float64 `json:"globalRange"`   // estimated global variogram range (Figures 3, 4)
+	GlobalSill    float64 `json:"globalSill"`    // fitted sill (≈ field variance)
+	LocalRangeStd float64 `json:"localRangeStd"` // std of local variogram ranges, H windows (Figure 5, 7-left)
+	LocalSVDStd   float64 `json:"localSVDStd"`   // std of local SVD truncation levels (Figure 6, 7-right)
 }
 
 // AnalysisOptions configures statistic extraction.
@@ -92,6 +94,18 @@ func Analyze(g *grid.Grid, opts AnalysisOptions) (Statistics, error) {
 // local variogram, then local SVD) so failures are reported
 // identically at any worker count.
 func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
+	return AnalyzeFieldCtx(context.Background(), f, opts)
+}
+
+// AnalyzeFieldCtx is AnalyzeField with cooperative cancellation
+// threaded through every statistic: the variogram scans check ctx per
+// offset (direct) or per transform stage (FFT), and both windowed
+// statistics check it per window, so a long-running analysis stops
+// within roughly one unit of work of the cancel and returns ctx.Err().
+// Cancellation dominates the fixed statistic error precedence — once
+// the context is dead the per-statistic errors are all cancellations
+// anyway, and reporting ctx.Err() keeps the outcome deterministic.
+func AnalyzeFieldCtx(ctx context.Context, f *field.Field, opts AnalysisOptions) (Statistics, error) {
 	o := opts.withDefaults()
 	vOpts := o.VariogramOpts
 	if vOpts.Workers == 0 {
@@ -102,7 +116,7 @@ func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
 	}
 	var s Statistics
 	if o.SkipLocal {
-		m, err := variogram.GlobalRangeField(f, vOpts)
+		m, err := variogram.GlobalRangeFieldCtx(ctx, f, vOpts)
 		if err != nil {
 			return s, fmt.Errorf("core: global variogram: %w", err)
 		}
@@ -115,14 +129,19 @@ func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
 		gErr, localErr, svErr error
 	)
 	parallel.Do(o.Workers,
-		func() { model, gErr = variogram.GlobalRangeField(f, vOpts) },
-		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStdField(f, o.Window, vOpts) },
+		func() { model, gErr = variogram.GlobalRangeFieldCtx(ctx, f, vOpts) },
+		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStdFieldCtx(ctx, f, o.Window, vOpts) },
 		func() {
-			s.LocalSVDStd, svErr = svdstat.LocalStdField(f, o.Window, svdstat.Options{
+			s.LocalSVDStd, svErr = svdstat.LocalStdFieldCtx(ctx, f, o.Window, svdstat.Options{
 				Frac: o.VarianceFraction, Workers: o.Workers, Gram: o.SVDGram,
 			})
 		},
 	)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Statistics{}, err
+		}
+	}
 	if gErr != nil {
 		return Statistics{}, fmt.Errorf("core: global variogram: %w", gErr)
 	}
@@ -151,13 +170,14 @@ func DefaultRegistry() *compress.Registry {
 }
 
 // Measurement couples one field's statistics with its compression
-// results across compressors and error bounds.
+// results across compressors and error bounds. The JSON field names
+// are the service layer's wire contract.
 type Measurement struct {
-	Dataset string
-	Index   int     // field index within the dataset
-	Label   float64 // generating parameter when known (e.g. true range)
-	Stats   Statistics
-	Results []compress.Result
+	Dataset string            `json:"dataset"`
+	Index   int               `json:"index"` // field index within the dataset
+	Label   float64           `json:"label"` // generating parameter when known (e.g. true range)
+	Stats   Statistics        `json:"stats"`
+	Results []compress.Result `json:"results"`
 }
 
 // MeasureOptions configures MeasureFields.
@@ -191,6 +211,15 @@ func MeasureFields(name string, fields []*grid.Grid, labels []float64,
 // scheduling.
 func MeasureFieldSet(name string, fields []*field.Field, labels []float64,
 	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
+	return MeasureFieldSetCtx(context.Background(), name, fields, labels, reg, opts)
+}
+
+// MeasureFieldSetCtx is MeasureFieldSet with cooperative cancellation:
+// the field fan-out, each field's statistics, and the per-codec sweep
+// all check ctx, so a dead context abandons the batch within one
+// codec run or statistic unit and returns ctx.Err().
+func MeasureFieldSetCtx(ctx context.Context, name string, fields []*field.Field, labels []float64,
+	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
 
 	ebs := opts.ErrorBounds
 	if ebs == nil {
@@ -201,9 +230,9 @@ func MeasureFieldSet(name string, fields []*field.Field, labels []float64,
 		aOpts.Workers = opts.Workers
 	}
 	out := make([]Measurement, len(fields))
-	err := parallel.ForErr(len(fields), opts.Workers, func(i int) error {
+	err := parallel.ForErrCtx(ctx, len(fields), opts.Workers, func(i int) error {
 		var err error
-		out[i], err = measureOne(name, i, fields[i], labels, reg, ebs, aOpts)
+		out[i], err = measureOne(ctx, name, i, fields[i], labels, reg, ebs, aOpts)
 		return err
 	})
 	if err != nil {
@@ -212,7 +241,7 @@ func MeasureFieldSet(name string, fields []*field.Field, labels []float64,
 	return out, nil
 }
 
-func measureOne(name string, i int, f *field.Field, labels []float64,
+func measureOne(ctx context.Context, name string, i int, f *field.Field, labels []float64,
 	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions) (Measurement, error) {
 
 	m := Measurement{Dataset: name, Index: i}
@@ -220,7 +249,7 @@ func measureOne(name string, i int, f *field.Field, labels []float64,
 		m.Label = labels[i]
 	}
 	var err error
-	m.Stats, err = AnalyzeField(f, aOpts)
+	m.Stats, err = AnalyzeFieldCtx(ctx, f, aOpts)
 	if err != nil {
 		return m, err
 	}
@@ -230,6 +259,11 @@ func measureOne(name string, i int, f *field.Field, labels []float64,
 	}
 	for _, c := range codecs {
 		for _, eb := range ebs {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return m, err
+				}
+			}
 			res, err := compress.RunField(c, f, eb)
 			if err != nil {
 				return m, fmt.Errorf("core: field %d: %w", i, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"lossycorr/internal/field"
@@ -125,7 +126,7 @@ func TestPredictorFromVolumes(t *testing.T) {
 	var ms []Measurement
 	for i, rang := range []float64{1.5, 2.5, 4, 6} {
 		f := testVolume(t, 16, rang, uint64(20+i))
-		m, err := measureOne("train3d", i, f, nil, DefaultRegistry(),
+		m, err := measureOne(context.Background(), "train3d", i, f, nil, DefaultRegistry(),
 			[]float64{1e-3}, AnalysisOptions{SkipLocal: true})
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -100,7 +101,13 @@ func (p *Predictor) SelectCompressor(eb float64, stats Statistics) (Selection, e
 // PredictField is a convenience that analyzes a field of any rank and
 // predicts its CR for a compressor and bound in one call.
 func (p *Predictor) PredictField(f *field.Field, compressor string, eb float64, opts AnalysisOptions) (float64, error) {
-	stats, err := AnalyzeField(f, opts)
+	return p.PredictFieldCtx(context.Background(), f, compressor, eb, opts)
+}
+
+// PredictFieldCtx is PredictField with cooperative cancellation of the
+// underlying analysis.
+func (p *Predictor) PredictFieldCtx(ctx context.Context, f *field.Field, compressor string, eb float64, opts AnalysisOptions) (float64, error) {
+	stats, err := AnalyzeFieldCtx(ctx, f, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestPredictFieldEndToEnd(t *testing.T) {
 	var train []Measurement
 	for i, rang := range []float64{4, 8, 16, 32} {
 		g := smallField(t, rang, uint64(30+i))
-		m, err := measureOne("train", i, field.FromGrid(g), nil, DefaultRegistry(),
+		m, err := measureOne(context.Background(), "train", i, field.FromGrid(g), nil, DefaultRegistry(),
 			[]float64{1e-3}, AnalysisOptions{SkipLocal: true})
 		if err != nil {
 			t.Fatal(err)

@@ -362,7 +362,36 @@ func (f *Field) NumTiles(h int) int {
 
 var magic = [4]byte{'L', 'C', 'F', '1'}
 
+// maxElems is the absolute element-count ceiling of ReadBinary: even a
+// well-formed header may not ask for more than 2^30 elements (8 GiB of
+// float64), so a crafted 8-byte header can never drive a larger
+// allocation. Callers serving untrusted uploads pass a much smaller
+// cap through ReadBinaryLimit.
 const maxElems = 1 << 30
+
+// validateShape checks a decoded header shape before anything is
+// allocated: every extent must be strictly positive (a zero extent is
+// a malformed header, not an empty field — no writer produces one) and
+// bounded by limit elements, and the running element product must stay
+// under limit too, which also keeps it far from int64 overflow (each
+// factor and every prefix product is <= 2^30). Returns the element
+// count.
+func validateShape(shape []int, limit int) (int, error) {
+	if limit <= 0 || limit > maxElems {
+		limit = maxElems
+	}
+	n := 1
+	for k, s := range shape {
+		if s <= 0 || s > limit {
+			return 0, fmt.Errorf("field: unreasonable extent in %v", shape[:k+1])
+		}
+		n *= s
+		if n > limit {
+			return 0, fmt.Errorf("field: shape %v exceeds %d-element cap", shape[:k+1], limit)
+		}
+	}
+	return n, nil
+}
 
 // WriteBinary writes the field in the format described above.
 func (f *Field) WriteBinary(w io.Writer) error {
@@ -400,8 +429,22 @@ func (f *Field) WriteBinary(w io.Writer) error {
 }
 
 // ReadBinary reads a field written by WriteBinary or by
-// (*grid.Grid).WriteBinary, detecting the layout from the header.
+// (*grid.Grid).WriteBinary, detecting the layout from the header, with
+// the default 2^30-element allocation cap.
 func ReadBinary(r io.Reader) (*Field, error) {
+	return ReadBinaryLimit(r, 0)
+}
+
+// ReadBinaryLimit is ReadBinary with an explicit allocation budget:
+// the header's claimed element count must not exceed maxElements
+// (values <= 0 or above the 2^30 absolute ceiling fall back to that
+// ceiling). The shape is fully validated — positive extents, per-extent
+// and running-product caps, no int overflow — before a single payload
+// byte is allocated, so an untrusted upload whose 8-byte header claims
+// a multi-GB field costs nothing but the header read. This is the
+// entry point the corrcompd upload path uses, with its budget derived
+// from the configured request-body limit.
+func ReadBinaryLimit(r io.Reader, maxElements int) (*Field, error) {
 	hdr := make([]byte, 8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("field: short header: %w", err)
@@ -416,18 +459,11 @@ func ReadBinary(r io.Reader) (*Field, error) {
 			return nil, fmt.Errorf("field: short shape: %w", err)
 		}
 		shape := make([]int, d)
-		n := 1
 		for k := range shape {
 			shape[k] = int(binary.LittleEndian.Uint32(dims[4*k:]))
-			// Per-extent and running-product caps keep n far from int64
-			// overflow, so a crafted header errors instead of panicking.
-			if shape[k] < 0 || shape[k] > maxElems {
-				return nil, fmt.Errorf("field: unreasonable extent in %v", shape[:k+1])
-			}
-			n *= shape[k]
-			if n > maxElems {
-				return nil, fmt.Errorf("field: unreasonable shape %v", shape[:k+1])
-			}
+		}
+		if _, err := validateShape(shape, maxElements); err != nil {
+			return nil, err
 		}
 		f := New(shape...)
 		if err := readPayload(r, f.Data); err != nil {
@@ -436,12 +472,10 @@ func ReadBinary(r io.Reader) (*Field, error) {
 		return f, nil
 	}
 	// Legacy 2D layout: the 8 bytes already read are the dimensions.
-	// Bounding each dimension before multiplying keeps the product from
-	// wrapping int64.
 	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
 	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
-	if rows < 0 || cols < 0 || rows > maxElems || cols > maxElems || rows*cols > maxElems {
-		return nil, fmt.Errorf("field: unreasonable dimensions %dx%d", rows, cols)
+	if _, err := validateShape([]int{rows, cols}, maxElements); err != nil {
+		return nil, err
 	}
 	f := New(rows, cols)
 	if err := readPayload(r, f.Data); err != nil {

@@ -2,6 +2,7 @@ package field
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"lossycorr/internal/grid"
@@ -220,6 +221,71 @@ func TestReadBinaryRejectsOverflowingHeaders(t *testing.T) {
 	tagged := append([]byte{'L', 'C', 'F', '1', 8, 0, 0, 0}, bytes.Repeat([]byte{0xff, 0xff, 0xff, 0x7f}, 8)...)
 	if _, err := ReadBinary(bytes.NewReader(tagged)); err == nil {
 		t.Fatal("expected error for overflowing tagged shape")
+	}
+}
+
+// TestReadBinaryRejectsZeroExtents pins the upload-hardening rule: no
+// writer produces a zero extent, so a header claiming one is malformed
+// and must error in both layouts before any allocation.
+func TestReadBinaryRejectsZeroExtents(t *testing.T) {
+	legacy := make([]byte, 8)
+	binary.LittleEndian.PutUint32(legacy[0:], 0)
+	binary.LittleEndian.PutUint32(legacy[4:], 16)
+	if _, err := ReadBinary(bytes.NewReader(legacy)); err == nil {
+		t.Fatal("expected error for zero legacy dimension")
+	}
+	tagged := []byte{'L', 'C', 'F', '1', 3, 0, 0, 0}
+	for _, d := range []uint32{4, 0, 4} {
+		tagged = binary.LittleEndian.AppendUint32(tagged, d)
+	}
+	if _, err := ReadBinary(bytes.NewReader(tagged)); err == nil {
+		t.Fatal("expected error for zero tagged extent")
+	}
+}
+
+// TestReadBinaryLimitCapsBeforeAllocating feeds headers that are
+// internally consistent but claim fields far beyond the caller's
+// budget: the reader must reject them from the 8- to 40-byte header
+// alone. The tiny test budget doubles as the allocation probe — if the
+// reader allocated the claimed payload first, the 1<<20-element claim
+// below would still succeed, so the error proves validation precedes
+// allocation.
+func TestReadBinaryLimitCapsBeforeAllocating(t *testing.T) {
+	legacy := make([]byte, 8)
+	binary.LittleEndian.PutUint32(legacy[0:], 1024)
+	binary.LittleEndian.PutUint32(legacy[4:], 1024)
+	if _, err := ReadBinaryLimit(bytes.NewReader(legacy), 1<<10); err == nil {
+		t.Fatal("expected cap error for 1M-element legacy claim under a 1K budget")
+	}
+	tagged := []byte{'L', 'C', 'F', '1', 3, 0, 0, 0}
+	for _, d := range []uint32{128, 128, 128} {
+		tagged = binary.LittleEndian.AppendUint32(tagged, d)
+	}
+	if _, err := ReadBinaryLimit(bytes.NewReader(tagged), 1<<10); err == nil {
+		t.Fatal("expected cap error for 2M-element tagged claim under a 1K budget")
+	}
+	// A claim within budget still round-trips.
+	f := New(4, 4)
+	f.Data[5] = 42
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryLimit(&buf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[5] != 42 {
+		t.Fatalf("round trip lost data: %v", got.Data[5])
+	}
+	// Budgets above the absolute ceiling clamp to it rather than
+	// weakening the guarantee.
+	huge := []byte{'L', 'C', 'F', '1', 2, 0, 0, 0}
+	for _, d := range []uint32{1 << 16, 1 << 16} {
+		huge = binary.LittleEndian.AppendUint32(huge, d)
+	}
+	if _, err := ReadBinaryLimit(bytes.NewReader(huge), 1<<40); err == nil {
+		t.Fatal("expected absolute ceiling to reject 2^32-element claim")
 	}
 }
 

@@ -32,6 +32,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,13 @@ func releaseToken() {
 // worker goroutines alive at once — by construction at most
 // GOMAXPROCS-1 at the time they were spawned.
 func PeakExtraWorkers() int64 { return peak.Load() }
+
+// LiveExtraWorkers reports the number of extra worker goroutines
+// currently holding a token from the global budget. After every
+// For/ForCtx call has returned, a quiescent process reports 0 — the
+// invariant the service layer's cancellation tests pin to prove that
+// cancelled pipelines give their tokens back.
+func LiveExtraWorkers() int64 { return live.Load() }
 
 // Resolve maps a Workers knob to an effective worker count: values <= 0
 // mean GOMAXPROCS, and the count is clamped to jobs so tiny index
@@ -157,6 +165,144 @@ func For(n, workers int, fn func(i int)) {
 	}
 	run()
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: the loop stops
+// scheduling new indices as soon as ctx is cancelled and returns
+// ctx.Err() (nil while ctx stays live; a run that races completion
+// with cancellation may report the error even though every index
+// ran — callers treat any non-nil return as abandoned work).
+// Cancellation is checked before
+// every index, so the call returns within roughly one loop-body
+// duration of the cancel no matter how large n is; indices already in
+// flight on other workers finish their current body before the workers
+// exit, and every extra worker returns its token to the global budget
+// before ForCtx returns (pinned by TestForCtxCancelReleasesTokens).
+// Results written for indices that did run are valid; a non-nil error
+// means an unspecified subset of indices never executed, so callers
+// must treat the output as abandoned.
+//
+// A nil ctx, or one that can never be cancelled, takes the exact For
+// fast path — no per-index check, bit-identical scheduling.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		For(n, workers, fn)
+		return nil
+	}
+	done := ctx.Done()
+	w := Resolve(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	chunk := n / (w * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			end := int(next.Add(int64(chunk)))
+			start := end - chunk
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				fn(i)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w-1; g++ {
+		if !acquireToken() {
+			break // global budget exhausted: the caller still makes progress
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				releaseToken()
+				wg.Done()
+			}()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForErrCtx is ForErr with cooperative cancellation. Cancellation
+// dominates body errors: once ctx is cancelled the index space is
+// abandoned mid-flight, so the deterministic lowest-failing-index
+// contract no longer applies and ctx.Err() is returned instead.
+func ForErrCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	var mu sync.Mutex
+	lowest := n
+	var lowestErr error
+	if err := ForCtx(ctx, n, workers, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < lowest {
+				lowest, lowestErr = i, err
+			}
+			mu.Unlock()
+		}
+	}); err != nil {
+		return err
+	}
+	return lowestErr
+}
+
+// FilterMapErrCtx is FilterMapErr with cooperative cancellation: on a
+// cancelled context it returns (nil, ctx.Err()) promptly instead of
+// finishing the index space. Body errors keep the lowest-failing-index
+// determinism whenever the loop ran to completion.
+func FilterMapErrCtx[T any](ctx context.Context, n, workers int, fn func(i int) (v T, ok bool, err error)) ([]T, error) {
+	type result struct {
+		v   T
+		ok  bool
+		err error
+	}
+	results := make([]result, n)
+	if err := ForCtx(ctx, n, workers, func(i int) {
+		v, ok, err := fn(i)
+		results[i] = result{v, ok, err}
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.ok {
+			out = append(out, r.v)
+		}
+	}
+	return out, nil
 }
 
 // ForErr is For over a fallible body. Every index runs (no early

@@ -11,6 +11,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,11 +66,17 @@ func sampleWindows(g *grid.Grid, h int, frac float64, seed uint64) []*grid.Grid 
 // shared worker pool in sampling order (which depends only on the
 // seed), so results match the serial path bit for bit.
 func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
+	return LocalRangeStdCtx(context.Background(), g, h, opts)
+}
+
+// LocalRangeStdCtx is LocalRangeStd with cooperative cancellation of
+// the sampled-window fan-out.
+func LocalRangeStdCtx(ctx context.Context, g *grid.Grid, h int, opts Options) (float64, error) {
 	if h < 4 {
 		return 0, fmt.Errorf("sampling: window %d too small", h)
 	}
 	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	ranges, err := parallel.FilterMapErr(len(windows), opts.Workers, func(i int) (float64, bool, error) {
+	ranges, err := parallel.FilterMapErrCtx(ctx, len(windows), opts.Workers, func(i int) (float64, bool, error) {
 		w := windows[i]
 		if w.Rows < 4 || w.Cols < 4 || w.Summary().Variance == 0 {
 			return 0, false, nil
@@ -98,6 +105,12 @@ func LocalRangeStd(g *grid.Grid, h int, opts Options) (float64, error) {
 // LocalSVDStd estimates the std of local SVD truncation levels from a
 // sampled subset of windows.
 func LocalSVDStd(g *grid.Grid, h int, frac float64, opts Options) (float64, error) {
+	return LocalSVDStdCtx(context.Background(), g, h, frac, opts)
+}
+
+// LocalSVDStdCtx is LocalSVDStd with cooperative cancellation of the
+// sampled-window fan-out.
+func LocalSVDStdCtx(ctx context.Context, g *grid.Grid, h int, frac float64, opts Options) (float64, error) {
 	if h < 2 {
 		return 0, fmt.Errorf("sampling: window %d too small", h)
 	}
@@ -105,7 +118,7 @@ func LocalSVDStd(g *grid.Grid, h int, frac float64, opts Options) (float64, erro
 		frac = svdstat.DefaultVarianceFraction
 	}
 	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	levels, err := parallel.FilterMapErr(len(windows), opts.Workers, func(i int) (float64, bool, error) {
+	levels, err := parallel.FilterMapErrCtx(ctx, len(windows), opts.Workers, func(i int) (float64, bool, error) {
 		w := windows[i]
 		if w.Rows < 2 || w.Cols < 2 {
 			return 0, false, nil
@@ -140,6 +153,13 @@ type SweepPoint struct {
 // come from opts (Fraction is ignored; the sweep supplies its own), and
 // each fraction's windows are evaluated on the worker pool.
 func SweepFractions(g *grid.Grid, h int, stat string, fractions []float64, opts Options) ([]SweepPoint, error) {
+	return SweepFractionsCtx(context.Background(), g, h, stat, fractions, opts)
+}
+
+// SweepFractionsCtx is SweepFractions with cooperative cancellation:
+// each fraction evaluation checks ctx through its window fan-out, so a
+// dead context abandons the sweep within one window's statistic.
+func SweepFractionsCtx(ctx context.Context, g *grid.Grid, h int, stat string, fractions []float64, opts Options) ([]SweepPoint, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.1, 0.25, 0.5, 0.75, 1}
 	}
@@ -147,9 +167,9 @@ func SweepFractions(g *grid.Grid, h int, stat string, fractions []float64, opts 
 		o := Options{Fraction: frac, Seed: opts.Seed, Workers: opts.Workers}
 		switch stat {
 		case "range":
-			return LocalRangeStd(g, h, o)
+			return LocalRangeStdCtx(ctx, g, h, o)
 		case "svd":
-			return LocalSVDStd(g, h, svdstat.DefaultVarianceFraction, o)
+			return LocalSVDStdCtx(ctx, g, h, svdstat.DefaultVarianceFraction, o)
 		default:
 			return 0, fmt.Errorf("sampling: unknown statistic %q (want range|svd)", stat)
 		}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServiceAnalyzeCached gauges what the content cache buys:
+// the cold first-request latency is reported as cold-ms, the steady
+// cached latency both as ns/op and cached-ms, and their quotient as
+// cold-over-cached-x — the service-level speedup of content
+// addressing on a byte-identical resubmission.
+func BenchmarkServiceAnalyzeCached(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	body := gaussBody(b, 256, 16, 1)
+
+	do := func() int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze?vfft=true", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	start := time.Now()
+	if code := do(); code != http.StatusOK {
+		b.Fatalf("cold analyze: %d", code)
+	}
+	cold := time.Since(start)
+
+	b.ResetTimer() // also clears reported metrics: report only after the loop
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("cached analyze: %d", code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cold.Microseconds())/1e3, "cold-ms")
+	if b.N > 0 && b.Elapsed() > 0 {
+		cached := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(cached.Microseconds())/1e3, "cached-ms")
+		if cached > 0 {
+			b.ReportMetric(float64(cold)/float64(cached), "cold-over-cached-x")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"lossycorr/internal/parallel"
+)
+
+// TestClientDisconnectStopsMidFlightAnalyze proves the cancellation
+// path end to end: a client submits a large -vfft analyze, disconnects
+// mid-flight, and the server-side pipeline (variogram transforms,
+// windowed statistics, SVD) unwinds within a bounded deadline — and
+// returns every worker-pool token, verified against the global budget
+// gauge, so the server keeps serving at full parallelism afterwards.
+func TestClientDisconnectStopsMidFlightAnalyze(t *testing.T) {
+	s, hs := testServer(t, Config{})
+	baseline := parallel.LiveExtraWorkers()
+
+	// Big enough that the full analysis takes far longer than the time
+	// from first-pipeline-work to the cancel below.
+	body := gaussBody(t, 1024, 48, 41)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		hs.URL+"/v1/analyze?vfft=true&window=16", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	waitFor(t, 15*time.Second, "pipeline to start", func() bool {
+		return s.Stats().InFlight >= 1
+	})
+	cancel() // client disconnects mid-flight
+
+	if err := <-done; err == nil {
+		t.Fatal("request unexpectedly completed before the disconnect")
+	}
+	unwindStart := time.Now()
+	waitFor(t, 5*time.Second, "pipeline to unwind after disconnect", func() bool {
+		return s.Stats().InFlight == 0
+	})
+	unwind := time.Since(unwindStart)
+	t.Logf("pipeline unwound %v after disconnect", unwind)
+
+	waitFor(t, 5*time.Second, "worker-pool tokens to return to the budget", func() bool {
+		return parallel.LiveExtraWorkers() <= baseline
+	})
+
+	// The budget is intact: a fresh request gets full service.
+	code, data := postBin(t, hs.URL+"/v1/analyze", gaussBody(t, 64, 8, 42))
+	if code != http.StatusOK {
+		t.Fatalf("post-cancel analyze: %d %s", code, data)
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lossycorr/internal/field"
+)
+
+// FuzzFieldUpload pushes arbitrary bodies through the upload path —
+// the binary reader's legacy-2D vs tagged-LCF1 auto-detection included
+// — and requires the server to answer every one without panicking and
+// without allocating past the derived element budget (the huge-header
+// seeds would reserve tens of gigabytes if validation ran after
+// allocation). Valid fields may still fail analysis (5xx) — that is a
+// pipeline outcome, not an intake bug — but any 5xx for a body the
+// reader itself rejects is a failure.
+func FuzzFieldUpload(f *testing.F) {
+	const maxBody = 1 << 16 // 64 KiB → 8192-element budget
+	srv := New(Config{MaxBodyBytes: maxBody, Executors: 1})
+	f.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	u32 := func(vs ...uint32) []byte {
+		b := make([]byte, 4*len(vs))
+		for i, v := range vs {
+			binary.LittleEndian.PutUint32(b[4*i:], v)
+		}
+		return b
+	}
+	// Valid legacy 2D field.
+	valid := u32(4, 4)
+	for i := 0; i < 16; i++ {
+		valid = binary.LittleEndian.AppendUint64(valid, uint64(i)<<52)
+	}
+	f.Add(valid)
+	// Valid tagged rank-3 field.
+	tagged := append([]byte("LCF1"), u32(3, 2, 2, 2)...)
+	for i := 0; i < 8; i++ {
+		tagged = binary.LittleEndian.AppendUint64(tagged, uint64(i)<<51)
+	}
+	f.Add(tagged)
+	f.Add([]byte{})
+	f.Add([]byte("LCF1"))
+	f.Add(u32(0, 16))                                          // zero extent
+	f.Add(u32(0xffffffff, 0xffffffff))                         // 16-exabyte promise
+	f.Add(append([]byte("LCF1"), u32(0xffffffff)...))          // rank bomb
+	f.Add(append([]byte("LCF1"), u32(3, 1024, 1024, 1024)...)) // overflow product
+	f.Add(u32(100, 100))                                       // truncated payload
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze?window=4&maxlag=4", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		code := rec.Code
+		switch {
+		case code == http.StatusOK || (code >= 400 && code < 500):
+			// parsed and analyzed, or cleanly rejected
+		case code >= 500:
+			if _, err := field.ReadBinaryLimit(bytes.NewReader(body), maxBody/8); err != nil {
+				t.Fatalf("5xx for a body the reader rejects (%v): %s", err, rec.Body)
+			}
+			// a parseable field whose analysis failed — acceptable
+		default:
+			t.Fatalf("unexpected status %d: %s", code, rec.Body)
+		}
+	})
+}

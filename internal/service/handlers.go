@@ -1,0 +1,643 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/core"
+	"lossycorr/internal/field"
+	"lossycorr/internal/gaussian"
+	"lossycorr/internal/svdstat"
+)
+
+// runSpec is one executable request: the pipeline kind, its content
+// address, and the closure that computes the result under a context.
+// Sync endpoints run specs on the request goroutine with the request's
+// context; async jobs run them on an executor with the job's context.
+type runSpec struct {
+	kind string
+	key  string
+	run  func(ctx context.Context) (any, error)
+}
+
+// apiError carries an HTTP status through the handler plumbing.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Handler returns the corrcompd route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /v1/analyze", s.syncHandler("analyze"))
+	mux.HandleFunc("POST /v1/measure", s.syncHandler("measure"))
+	mux.HandleFunc("POST /v1/predict", s.syncHandler("predict"))
+	mux.HandleFunc("POST /v1/jobs/{kind}", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return mux
+}
+
+// ---- field intake ------------------------------------------------
+
+func (s *Server) maxElements() int { return int(s.cfg.MaxBodyBytes / 8) }
+
+// fieldFromRequest resolves the field of a request: the raw body
+// (bounded by MaxBodyBytes) or a ?dataset=name reference into the
+// server's data directory. The raw bytes feed the content address;
+// the parsed field feeds the pipeline. The byte budget is enforced
+// before the parse and the parse validates the header's shape before
+// allocating, so a hostile request cannot make the server reserve
+// more memory than the configured body cap.
+func (s *Server) fieldFromRequest(w http.ResponseWriter, r *http.Request) ([]byte, *field.Field, error) {
+	var raw []byte
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		var err error
+		if raw, err = s.readDataset(name); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var err error
+		if raw, err = io.ReadAll(body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return nil, nil, apiErrorf(http.StatusRequestEntityTooLarge,
+					"body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			}
+			return nil, nil, apiErrorf(http.StatusBadRequest, "reading body: %v", err)
+		}
+	}
+	if len(raw) == 0 {
+		return nil, nil, apiErrorf(http.StatusBadRequest,
+			"empty field payload: POST a binary field or pass ?dataset=name")
+	}
+	f, err := field.ReadBinaryLimit(bytes.NewReader(raw), s.maxElements())
+	if err != nil {
+		return nil, nil, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
+	}
+	return raw, f, nil
+}
+
+func (s *Server) readDataset(name string) ([]byte, error) {
+	if s.cfg.DataDir == "" {
+		return nil, apiErrorf(http.StatusNotFound, "no dataset directory configured")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return nil, apiErrorf(http.StatusBadRequest, "invalid dataset name %q", name)
+	}
+	p := filepath.Join(s.cfg.DataDir, name)
+	st, err := os.Stat(p)
+	if err != nil || st.IsDir() {
+		return nil, apiErrorf(http.StatusNotFound, "unknown dataset %q", name)
+	}
+	if st.Size() > s.cfg.MaxBodyBytes {
+		return nil, apiErrorf(http.StatusRequestEntityTooLarge,
+			"dataset %q is %d bytes, over the %d-byte cap", name, st.Size(), s.cfg.MaxBodyBytes)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, apiErrorf(http.StatusInternalServerError, "reading dataset %q: %v", name, err)
+	}
+	return raw, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Bytes int64  `json:"bytes"`
+	}
+	out := []entry{}
+	if s.cfg.DataDir != "" {
+		des, err := os.ReadDir(s.cfg.DataDir)
+		if err != nil {
+			s.writeError(w, apiErrorf(http.StatusInternalServerError, "listing datasets: %v", err))
+			return
+		}
+		for _, de := range des {
+			if de.Type().IsRegular() {
+				if info, err := de.Info(); err == nil {
+					out = append(out, entry{Name: de.Name(), Bytes: info.Size()})
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// ---- option parsing ----------------------------------------------
+
+func queryInt(q url.Values, name string, def int) (int, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, apiErrorf(http.StatusBadRequest, "bad %s=%q: %v", name, s, err)
+	}
+	return n, nil
+}
+
+func queryFloat(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, apiErrorf(http.StatusBadRequest, "bad %s=%q: %v", name, s, err)
+	}
+	return v, nil
+}
+
+func queryBool(q url.Values, name string, def bool) (bool, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, apiErrorf(http.StatusBadRequest, "bad %s=%q: %v", name, s, err)
+	}
+	return v, nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// analysisParams is the service surface over core.AnalysisOptions.
+// Its canonical string is part of the cache key, so two requests that
+// spell the same options differently (e.g. ?vfft=1 vs ?vfft=true)
+// still address the same cache entry.
+type analysisParams struct {
+	window    int
+	maxLag    int
+	frac      float64
+	vfft      bool
+	skipLocal bool
+	gram      bool
+}
+
+func parseAnalysisParams(q url.Values) (analysisParams, error) {
+	p := analysisParams{window: core.DefaultWindow, frac: svdstat.DefaultVarianceFraction, gram: true}
+	var err error
+	if p.window, err = queryInt(q, "window", p.window); err != nil {
+		return p, err
+	}
+	if p.maxLag, err = queryInt(q, "maxlag", 0); err != nil {
+		return p, err
+	}
+	if p.frac, err = queryFloat(q, "frac", p.frac); err != nil {
+		return p, err
+	}
+	if p.vfft, err = queryBool(q, "vfft", false); err != nil {
+		return p, err
+	}
+	if p.skipLocal, err = queryBool(q, "skiplocal", false); err != nil {
+		return p, err
+	}
+	if p.gram, err = queryBool(q, "gram", true); err != nil {
+		return p, err
+	}
+	if p.window < 2 {
+		return p, apiErrorf(http.StatusBadRequest, "window must be >= 2, got %d", p.window)
+	}
+	return p, nil
+}
+
+func (p analysisParams) canon() string {
+	return fmt.Sprintf("w=%d|lag=%d|frac=%s|vfft=%t|skip=%t|gram=%t",
+		p.window, p.maxLag, fmtFloat(p.frac), p.vfft, p.skipLocal, p.gram)
+}
+
+func (p analysisParams) options(workers int) core.AnalysisOptions {
+	o := core.AnalysisOptions{
+		Window:           p.window,
+		VarianceFraction: p.frac,
+		SkipLocal:        p.skipLocal,
+		VariogramFFT:     p.vfft,
+		Workers:          workers,
+	}
+	o.VariogramOpts.MaxLag = p.maxLag
+	if !p.gram {
+		o.SVDGram = svdstat.GramOff
+	}
+	return o
+}
+
+func parseErrorBounds(s string) ([]float64, error) {
+	if s == "" {
+		return compress.PaperErrorBounds, nil
+	}
+	parts := strings.Split(s, ",")
+	ebs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, apiErrorf(http.StatusBadRequest, "bad error bound %q", p)
+		}
+		ebs = append(ebs, v)
+	}
+	return ebs, nil
+}
+
+func canonFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmtFloat(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ---- spec builders -----------------------------------------------
+
+type analyzeResult struct {
+	Shape []int           `json:"shape"`
+	Stats core.Statistics `json:"stats"`
+}
+
+type measureResult struct {
+	Shape   []int             `json:"shape"`
+	Stats   core.Statistics   `json:"stats"`
+	Results []compress.Result `json:"results"`
+}
+
+type predictResult struct {
+	Shape          []int           `json:"shape"`
+	Stats          core.Statistics `json:"stats"`
+	ErrorBound     float64         `json:"errorBound"`
+	Compressor     string          `json:"compressor"`
+	PredictedRatio float64         `json:"predictedRatio"`
+	// Selected is true when the server chose the compressor (no
+	// ?codec= was given) rather than scoring a requested one.
+	Selected bool `json:"selected"`
+}
+
+// buildSpec validates a request completely — options, field payload,
+// codec names — before any pipeline work, so every 4xx happens at
+// submit time and an admitted job can only fail on compute errors.
+func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) (runSpec, error) {
+	raw, f, err := s.fieldFromRequest(w, r)
+	if err != nil {
+		return runSpec{}, err
+	}
+	q := r.URL.Query()
+	p, err := parseAnalysisParams(q)
+	if err != nil {
+		return runSpec{}, err
+	}
+	workers := s.cfg.Workers
+	switch kind {
+	case "analyze":
+		aOpts := p.options(workers)
+		return runSpec{
+			kind: kind,
+			key:  cacheKey(kind, p.canon(), raw),
+			run: func(ctx context.Context) (any, error) {
+				stats, err := core.AnalyzeFieldCtx(ctx, f, aOpts)
+				if err != nil {
+					return nil, err
+				}
+				return analyzeResult{Shape: f.Shape, Stats: stats}, nil
+			},
+		}, nil
+
+	case "measure":
+		ebs, err := parseErrorBounds(q.Get("eb"))
+		if err != nil {
+			return runSpec{}, err
+		}
+		codec := q.Get("codec")
+		reg := core.DefaultRegistry()
+		if codec != "" {
+			c, err := reg.GetFor(codec, f.NDim())
+			if err != nil {
+				return runSpec{}, apiErrorf(http.StatusBadRequest, "%v", err)
+			}
+			sub := compress.NewRegistry()
+			if err := sub.RegisterField(c); err != nil {
+				return runSpec{}, err
+			}
+			reg = sub
+		}
+		canon := p.canon() + "|ebs=" + canonFloats(ebs) + "|codec=" + codec
+		mOpts := core.MeasureOptions{Analysis: p.options(workers), ErrorBounds: ebs, Workers: workers}
+		return runSpec{
+			kind: kind,
+			key:  cacheKey(kind, canon, raw),
+			run: func(ctx context.Context) (any, error) {
+				ms, err := core.MeasureFieldSetCtx(ctx, "request", []*field.Field{f}, nil, reg, mOpts)
+				if err != nil {
+					return nil, err
+				}
+				return measureResult{Shape: f.Shape, Stats: ms[0].Stats, Results: ms[0].Results}, nil
+			},
+		}, nil
+
+	case "predict":
+		rank := f.NDim()
+		if rank != 2 && rank != 3 {
+			return runSpec{}, apiErrorf(http.StatusBadRequest,
+				"prediction supports rank 2 and 3 fields, got rank %d", rank)
+		}
+		eb, err := queryFloat(q, "eb", 1e-3)
+		if err != nil {
+			return runSpec{}, err
+		}
+		if eb <= 0 {
+			return runSpec{}, apiErrorf(http.StatusBadRequest, "eb must be > 0, got %g", eb)
+		}
+		codec := q.Get("codec")
+		if codec != "" {
+			if _, err := core.DefaultRegistry().GetFor(codec, rank); err != nil {
+				return runSpec{}, apiErrorf(http.StatusBadRequest, "%v", err)
+			}
+		}
+		// The predictor regresses on the global range, so the target's
+		// local statistics are never needed.
+		p.skipLocal = true
+		aOpts := p.options(workers)
+		canon := p.canon() + "|eb=" + fmtFloat(eb) + "|codec=" + codec + "|" + s.trainCanon(rank, eb)
+		return runSpec{
+			kind: kind,
+			key:  cacheKey(kind, canon, raw),
+			run: func(ctx context.Context) (any, error) {
+				pred, err := s.predictor(ctx, rank, eb)
+				if err != nil {
+					return nil, err
+				}
+				stats, err := core.AnalyzeFieldCtx(ctx, f, aOpts)
+				if err != nil {
+					return nil, err
+				}
+				res := predictResult{Shape: f.Shape, Stats: stats, ErrorBound: eb}
+				if codec != "" {
+					ratio, err := pred.PredictRatio(codec, eb, stats)
+					if err != nil {
+						return nil, err
+					}
+					res.Compressor, res.PredictedRatio = codec, ratio
+				} else {
+					sel, err := pred.SelectCompressor(eb, stats)
+					if err != nil {
+						return nil, err
+					}
+					res.Compressor, res.PredictedRatio, res.Selected = sel.Compressor, sel.Predicted, true
+				}
+				return res, nil
+			},
+		}, nil
+	}
+	return runSpec{}, apiErrorf(http.StatusNotFound, "unknown job kind %q (want analyze, measure, or predict)", kind)
+}
+
+// ---- predictor training ------------------------------------------
+
+// trainSeed fixes the synthetic training set, so the trained models —
+// and through them /v1/predict responses — are reproducible across
+// server restarts.
+const trainSeed = 1
+
+func (s *Server) trainCanon(rank int, eb float64) string {
+	edge := s.cfg.TrainEdge2D
+	if rank == 3 {
+		edge = s.cfg.TrainEdge3D
+	}
+	return fmt.Sprintf("train=%d|edge=%d|rank=%d|teb=%s", s.cfg.TrainFields, edge, rank, fmtFloat(eb))
+}
+
+// predictor returns the predictor for (rank, eb), training it on
+// first use. Training goes through the same cache + singleflight
+// layer as results, so concurrent first predictions train once and
+// the model is reused until evicted.
+func (s *Server) predictor(ctx context.Context, rank int, eb float64) (*core.Predictor, error) {
+	spec := runSpec{
+		kind: "train",
+		key:  cacheKey("train", s.trainCanon(rank, eb), nil),
+		run: func(ctx context.Context) (any, error) {
+			return s.trainModel(ctx, rank, eb)
+		},
+	}
+	v, _, err := s.runCached(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Predictor), nil
+}
+
+// trainModel fits one log-regression per codec at the requested bound
+// on synthetic Gaussian fields spanning a range ladder — the corrcomp
+// predict subcommand's recipe, server-side.
+func (s *Server) trainModel(ctx context.Context, rank int, eb float64) (*core.Predictor, error) {
+	n := s.cfg.TrainFields
+	fields := make([]*field.Field, 0, n)
+	labels := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if rank == 2 {
+			edge := s.cfg.TrainEdge2D
+			rang := float64(edge) / 64 * float64(int(2)<<uint(i%6))
+			g, err := gaussian.Generate(gaussian.Params{
+				Rows: edge, Cols: edge, Range: rang, Seed: trainSeed + uint64(i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, field.FromGrid(g))
+			labels = append(labels, rang)
+		} else {
+			edge := s.cfg.TrainEdge3D
+			rang := float64(edge) / 16 * float64(int(1)<<uint(i%3))
+			v, err := gaussian.Generate3D(gaussian.Params3D{
+				Nz: edge, Ny: edge, Nx: edge, Range: rang, Seed: trainSeed + uint64(i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, field.FromVolume(v))
+			labels = append(labels, rang)
+		}
+	}
+	ms, err := core.MeasureFieldSetCtx(ctx, "train", fields, labels, core.DefaultRegistry(),
+		core.MeasureOptions{
+			Analysis:    core.AnalysisOptions{SkipLocal: true},
+			ErrorBounds: []float64{eb},
+			Workers:     s.cfg.Workers,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainPredictor(ms, core.XGlobalRange)
+}
+
+// ---- sync + async handlers ---------------------------------------
+
+// envelope wraps a sync response with per-request execution metadata;
+// async jobs report the same metadata through their JobInfo instead.
+type envelope struct {
+	Cached        bool    `json:"cached"`
+	ElapsedMs     float64 `json:"elapsedMs"`
+	PoolPeakBytes int64   `json:"poolPeakBytes"`
+	Result        any     `json:"result"`
+}
+
+func (s *Server) syncHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		spec, err := s.buildSpec(kind, w, r)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		start := time.Now()
+		val, cached, peak, err := s.execute(r.Context(), spec)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client is gone; nothing to write
+			}
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, envelope{
+			Cached:        cached,
+			ElapsedMs:     float64(time.Since(start).Microseconds()) / 1e3,
+			PoolPeakBytes: peak,
+			Result:        val,
+		})
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.buildSpec(r.PathValue("kind"), w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.submitJob(spec)
+	if errors.Is(err, errQueueFull) {
+		s.writeError(w, apiErrorf(http.StatusTooManyRequests,
+			"job queue full (%d waiting); retry later", s.cfg.MaxQueue))
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.jobMu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.jobMu.Unlock()
+	infos := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, apiErrorf(http.StatusNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, apiErrorf(http.StatusNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	info, result := j.info, j.result
+	j.mu.Unlock()
+	switch info.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, envelope{
+			Cached:        info.Cached,
+			ElapsedMs:     info.ElapsedMs,
+			PoolPeakBytes: info.PoolPeakBytes,
+			Result:        result,
+		})
+	case JobQueued, JobRunning:
+		writeJSON(w, http.StatusAccepted, info) // not ready; poll again
+	case JobCancelled:
+		writeJSON(w, http.StatusConflict, info)
+	default: // JobFailed
+		s.writeError(w, apiErrorf(http.StatusInternalServerError, "job failed: %s", info.Error))
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, apiErrorf(http.StatusNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	if j.info.State == JobQueued {
+		// Never reached an executor; finalize here. runJob skips
+		// anything no longer queued.
+		j.info.State = JobCancelled
+		j.info.Error = "cancelled before start"
+		j.info.FinishedAt = time.Now()
+		s.ctrCancelled.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel() // a running job unwinds cooperatively via its context
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}

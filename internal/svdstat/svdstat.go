@@ -11,6 +11,7 @@
 package svdstat
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -230,12 +231,19 @@ func windowLevel(w *field.Field, o Options) (int, error) {
 // result is independent of scheduling. Windows with any extent below 2
 // after clipping are skipped.
 func LocalLevelsField(f *field.Field, h int, opts Options) ([]float64, error) {
+	return LocalLevelsFieldCtx(context.Background(), f, h, opts)
+}
+
+// LocalLevelsFieldCtx is LocalLevelsField with cooperative
+// cancellation: the tile fan-out checks ctx before each window, so a
+// dead context abandons the sweep within one window's eigensolve.
+func LocalLevelsFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) ([]float64, error) {
 	if h < 2 {
 		return nil, fmt.Errorf("svdstat: window %d too small", h)
 	}
 	o := opts.withDefaults()
 	origins := f.TileOrigins(h)
-	return parallel.FilterMapErr(len(origins), o.Workers, func(i int) (float64, bool, error) {
+	return parallel.FilterMapErrCtx(ctx, len(origins), o.Workers, func(i int) (float64, bool, error) {
 		w := windowPool.Get().(*field.Field)
 		defer windowPool.Put(w)
 		f.WindowInto(w, origins[i], h)
@@ -266,7 +274,13 @@ func LocalLevels(g *grid.Grid, h int, frac float64) ([]float64, error) {
 // LocalStdField is the paper's statistic for a field of any rank: the
 // standard deviation of local truncation levels over h-edged windows.
 func LocalStdField(f *field.Field, h int, opts Options) (float64, error) {
-	levels, err := LocalLevelsField(f, h, opts)
+	return LocalStdFieldCtx(context.Background(), f, h, opts)
+}
+
+// LocalStdFieldCtx is LocalStdField with cooperative cancellation of
+// the window sweep.
+func LocalStdFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) (float64, error) {
+	levels, err := LocalLevelsFieldCtx(ctx, f, h, opts)
 	if err != nil {
 		return 0, err
 	}

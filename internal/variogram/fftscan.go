@@ -38,6 +38,7 @@ package variogram
 // random fields; the equivalence test pins 1e-9).
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,7 +57,19 @@ var padLenFn = fft.FastLen
 // transform identities above. The result is independent of the worker
 // count: line transforms write disjoint regions and each distance bin
 // folds its offsets in canonical order.
-func fftScanField(f *field.Field, o Options) (*Empirical, error) {
+//
+// Cancellation is observed at stage boundaries — before each of the
+// six ND transforms and the pointwise/binning passes — so a dead
+// context abandons the pipeline within one transform's duration
+// (~tens of milliseconds at 512², seconds at Miranda scale) and every
+// pooled buffer is released on the way out through the defers.
+func fftScanField(ctx context.Context, f *field.Field, o Options) (*Empirical, error) {
+	stage := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	dims := f.Shape
 	nd := len(dims)
 	if nd < 1 {
@@ -82,6 +95,9 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	if err := fft.EmbedReal(r, pad, f.Data, dims); err != nil {
 		return nil, err
 	}
+	if err := stage(); err != nil {
+		return nil, err
+	}
 	spZ := fft.AcquireComplex(half)
 	defer func() { fft.ReleaseComplex(spZ) }()
 	if err := fft.ForwardRealND(r, pad, spZ, o.Workers); err != nil {
@@ -91,6 +107,9 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	// stays zero.
 	for i, v := range r {
 		r[i] = v * v
+	}
+	if err := stage(); err != nil {
+		return nil, err
 	}
 	spW := fft.AcquireComplex(half)
 	defer func() { fft.ReleaseComplex(spW) }()
@@ -105,6 +124,9 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 			r[i] = 1
 		}
 	}); err != nil {
+		return nil, err
+	}
+	if err := stage(); err != nil {
 		return nil, err
 	}
 	spM := fft.AcquireComplex(half)
@@ -123,12 +145,18 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	// correlation plane exists, so at most three half-spectra plus one
 	// real plane — or two half-spectra plus two real planes — are ever
 	// live at once.
+	if err := stage(); err != nil {
+		return nil, err
+	}
 	cwm := r // z and z²·m are spent; reuse the staging plane
 	if err := fft.InverseRealND(spW, pad, cwm, o.Workers); err != nil {
 		return nil, err
 	}
 	fft.ReleaseComplex(spW)
 	spW = nil
+	if err := stage(); err != nil {
+		return nil, err
+	}
 	czz := fft.AcquireReal(total)
 	defer fft.ReleaseReal(czz)
 	if err := fft.InverseRealND(spZ, pad, czz, o.Workers); err != nil {
@@ -136,6 +164,9 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	}
 	fft.ReleaseComplex(spZ)
 	spZ = nil
+	if err := stage(); err != nil {
+		return nil, err
+	}
 	cmm := fft.AcquireReal(total)
 	defer fft.ReleaseReal(cmm)
 	if err := fft.InverseRealND(spM, pad, cmm, o.Workers); err != nil {
@@ -155,7 +186,7 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 	bins := offsetsByBinCached(nd, nb)
 	sum := make([]float64, nb+1)
 	cnt := make([]int64, nb+1)
-	parallel.For(nb+1, o.Workers, func(b int) {
+	if err := parallel.ForCtx(ctx, nb+1, o.Workers, func(b int) {
 		offs := bins[b]
 		var s float64
 		var c int64
@@ -185,6 +216,8 @@ func fftScanField(f *field.Field, o Options) (*Empirical, error) {
 			c += n
 		}
 		sum[b], cnt[b] = s, c
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return collect(sum, cnt), nil
 }

@@ -16,6 +16,7 @@ package variogram
 // serial stage of the analysis.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -68,17 +69,26 @@ func sampleSalt(ndim int) uint64 {
 // distance bins out over opts.Workers; results are bit-identical at
 // any worker count.
 func ComputeField(f *field.Field, opts Options) (*Empirical, error) {
+	return ComputeFieldCtx(context.Background(), f, opts)
+}
+
+// ComputeFieldCtx is ComputeField with cooperative cancellation: every
+// estimator checks ctx between units of work (per offset for the exact
+// scan, per transform stage and per bin for the FFT engine, every few
+// thousand draws for the sampler) and returns ctx.Err() promptly once
+// the context dies, handing any borrowed worker-pool tokens back.
+func ComputeFieldCtx(ctx context.Context, f *field.Field, opts Options) (*Empirical, error) {
 	if f.NDim() < 1 || f.Len() < 2 {
 		return nil, fmt.Errorf("variogram: field too small (shape %v)", f.Shape)
 	}
 	o := opts.withFieldDefaults(f)
 	if o.FFT {
-		return fftScanField(f, o)
+		return fftScanField(ctx, f, o)
 	}
 	if o.Exact || f.Len() <= exactThresholdFor(f.NDim()) {
-		return exactScanField(f, o), nil
+		return exactScanField(ctx, f, o)
 	}
-	return sampledScanField(f, o), nil
+	return sampledScanField(ctx, f, o)
 }
 
 // offsetsByBin enumerates every lag vector with 0 < |v| <= maxLag and
@@ -228,7 +238,7 @@ func scanOffset(data []float64, dims, strides []int, off []int32, sc *scanScratc
 // canonical order) into one accumulation chain, making the result
 // independent of the worker count — and bitwise equal to the legacy
 // serial 2D/3D scans.
-func exactScanField(f *field.Field, o Options) *Empirical {
+func exactScanField(ctx context.Context, f *field.Field, o Options) (*Empirical, error) {
 	nb := o.MaxLag
 	bins := offsetsByBinCached(f.NDim(), nb)
 	sum := make([]float64, nb+1)
@@ -236,7 +246,14 @@ func exactScanField(f *field.Field, o Options) *Empirical {
 	dims := f.Shape
 	strides := f.Strides()
 	nd := f.NDim()
-	parallel.For(nb+1, o.Workers, func(b int) {
+	// Cancellation is observed per offset: one scanOffset sweeps the
+	// whole array once, so a dead context stops the scan within a single
+	// array pass even when a bin holds thousands of offsets.
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if err := parallel.ForCtx(ctx, nb+1, o.Workers, func(b int) {
 		offs := bins[b]
 		if len(offs) == 0 {
 			return
@@ -245,18 +262,31 @@ func exactScanField(f *field.Field, o Options) *Empirical {
 		var s float64
 		var c int64
 		for p := 0; p < len(offs); p += nd {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			scanOffset(f.Data, dims, strides, offs[p:p+nd], sc, &s, &c)
 		}
 		sum[b], cnt[b] = s, c
-	})
-	return collect(sum, cnt)
+	}); err != nil {
+		return nil, err
+	}
+	return collect(sum, cnt), nil
 }
 
 // sampledScanField draws random pairs: a random anchor point and a
 // random offset within the cutoff ball. Component draw order (anchor
 // components, then offset components, slowest dimension first) matches
 // the legacy 2D and 3D samplers, so seeded results are unchanged.
-func sampledScanField(f *field.Field, o Options) *Empirical {
+func sampledScanField(ctx context.Context, f *field.Field, o Options) (*Empirical, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	rng := xrand.New(o.Seed ^ sampleSalt(f.NDim()))
 	nb := o.MaxLag
 	sum := make([]float64, nb+1)
@@ -268,6 +298,13 @@ func sampledScanField(f *field.Field, o Options) *Empirical {
 	pos := make([]int, nd)
 	off := make([]int, nd)
 	for p := 0; p < o.MaxPairs; p++ {
+		if done != nil && p&0xfff == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		for k := 0; k < nd; k++ {
 			pos[k] = rng.Intn(dims[k])
 		}
@@ -304,13 +341,19 @@ func sampledScanField(f *field.Field, o Options) *Empirical {
 		sum[bin] += d * d
 		cnt[bin]++
 	}
-	return collect(sum, cnt)
+	return collect(sum, cnt), nil
 }
 
 // GlobalRangeField estimates the variogram range of an entire field of
 // any rank.
 func GlobalRangeField(f *field.Field, opts Options) (Model, error) {
-	e, err := ComputeField(f, opts)
+	return GlobalRangeFieldCtx(context.Background(), f, opts)
+}
+
+// GlobalRangeFieldCtx is GlobalRangeField with cooperative
+// cancellation of the underlying scan.
+func GlobalRangeFieldCtx(ctx context.Context, f *field.Field, opts Options) (Model, error) {
+	e, err := ComputeFieldCtx(ctx, f, opts)
 	if err != nil {
 		return Model{}, err
 	}
@@ -360,11 +403,18 @@ func windowRangeField(w *field.Field, opts Options) (rang float64, ok bool, err 
 var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
 
 func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
+	return LocalRangesFieldCtx(context.Background(), f, h, opts)
+}
+
+// LocalRangesFieldCtx is LocalRangesField with cooperative
+// cancellation: the tile fan-out checks ctx before each window, so a
+// dead context abandons the sweep within one window's scan.
+func LocalRangesFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) ([]float64, error) {
 	if h < 4 {
 		return nil, fmt.Errorf("variogram: window %d too small", h)
 	}
 	origins := f.TileOrigins(h)
-	return parallel.FilterMapErr(len(origins), opts.Workers, func(i int) (float64, bool, error) {
+	return parallel.FilterMapErrCtx(ctx, len(origins), opts.Workers, func(i int) (float64, bool, error) {
 		w := windowPool.Get().(*field.Field)
 		defer windowPool.Put(w)
 		return windowRangeField(f.WindowInto(w, origins[i], h), opts)
@@ -375,7 +425,13 @@ func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
 // field of any rank — the paper's heterogeneity statistic, extended to
 // H×H×H windows for volumes.
 func LocalRangeStdField(f *field.Field, h int, opts Options) (float64, error) {
-	ranges, err := LocalRangesField(f, h, opts)
+	return LocalRangeStdFieldCtx(context.Background(), f, h, opts)
+}
+
+// LocalRangeStdFieldCtx is LocalRangeStdField with cooperative
+// cancellation of the window sweep.
+func LocalRangeStdFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) (float64, error) {
+	ranges, err := LocalRangesFieldCtx(ctx, f, h, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ package variogram
 // the claim, serially and at several worker counts.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -184,7 +185,10 @@ func TestExactScanMatchesLegacy2DBitwise(t *testing.T) {
 		for _, w := range []int{1, 2, 7} {
 			ow := o
 			ow.Workers = w
-			got := exactScanField(field.FromGrid(g), ow)
+			got, err := exactScanField(context.Background(), field.FromGrid(g), ow)
+			if err != nil {
+				t.Fatal(err)
+			}
 			assertEmpiricalIdentical(t, got, want,
 				"exact 2D "+string(rune('0'+w))+" workers")
 		}
@@ -198,8 +202,11 @@ func TestExactScanMatchesLegacy3DBitwise(t *testing.T) {
 		v := randomVolume(tc.nz, tc.ny, tc.nx, uint64(tc.nz*100+tc.nx))
 		want := legacyExactScan3D(v, tc.maxLag)
 		for _, w := range []int{1, 3, 16} {
-			got := exactScanField(field.FromVolume(v),
+			got, err := exactScanField(context.Background(), field.FromVolume(v),
 				Options{MaxLag: tc.maxLag, MaxPairs: 1, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
 			assertEmpiricalIdentical(t, got, want, "exact 3D")
 		}
 	}
@@ -209,7 +216,10 @@ func TestSampledScanMatchesLegacy2DBitwise(t *testing.T) {
 	g := randomGrid(80, 70, 99)
 	o := (&Options{MaxPairs: 50_000, Seed: 1234}).withDefaults(g)
 	want := legacySampledScan2D(g, o)
-	got := sampledScanField(field.FromGrid(g), o)
+	got, err := sampledScanField(context.Background(), field.FromGrid(g), o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	assertEmpiricalIdentical(t, got, want, "sampled 2D")
 }
 
@@ -255,7 +265,9 @@ func BenchmarkExactScanSerial(b *testing.B) {
 	o := (&Options{Exact: true, Workers: 1}).withDefaults(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		exactScanField(field.FromGrid(g), o)
+		if _, err := exactScanField(context.Background(), field.FromGrid(g), o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -264,7 +276,9 @@ func BenchmarkExactScanParallel(b *testing.B) {
 	o := (&Options{Exact: true, Workers: 0}).withDefaults(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		exactScanField(field.FromGrid(g), o)
+		if _, err := exactScanField(context.Background(), field.FromGrid(g), o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
