@@ -10,7 +10,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/field"
@@ -33,6 +35,27 @@ type Statistics struct {
 	GlobalSill    float64 `json:"globalSill"`    // fitted sill (≈ field variance)
 	LocalRangeStd float64 `json:"localRangeStd"` // std of local variogram ranges, H windows (Figure 5, 7-left)
 	LocalSVDStd   float64 `json:"localSVDStd"`   // std of local SVD truncation levels (Figure 6, 7-right)
+}
+
+// MarshalJSON clamps non-finite statistics to the same sentinels
+// compress.Result uses for PSNR (±1e308 for infinities, 0 for NaN): a
+// degenerate field (e.g. constant values) can produce NaN or Inf here,
+// which encoding/json rejects, and a marshal failure inside a handler
+// would otherwise truncate an already-committed response.
+func (s Statistics) MarshalJSON() ([]byte, error) {
+	type wire Statistics // drop the method to avoid recursion
+	w := wire(s)
+	for _, p := range []*float64{&w.GlobalRange, &w.GlobalSill, &w.LocalRangeStd, &w.LocalSVDStd} {
+		switch {
+		case math.IsInf(*p, 1):
+			*p = 1e308
+		case math.IsInf(*p, -1):
+			*p = -1e308
+		case math.IsNaN(*p):
+			*p = 0
+		}
+	}
+	return json.Marshal(w)
 }
 
 // AnalysisOptions configures statistic extraction.

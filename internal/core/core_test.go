@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -242,5 +243,48 @@ func TestSummarize(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "CR∈[2.00, 8.00]") {
 		t.Fatalf("summary %q", buf.String())
+	}
+}
+
+// TestStatisticsMarshalClampsNonFinite pins the wire contract the
+// service layer relies on: degenerate fields can yield NaN/Inf
+// statistics, which encoding/json rejects, so Statistics marshals them
+// clamped to the same sentinels compress.Result uses for PSNR.
+func TestStatisticsMarshalClampsNonFinite(t *testing.T) {
+	s := Statistics{
+		GlobalRange:   math.Inf(1),
+		GlobalSill:    math.Inf(-1),
+		LocalRangeStd: math.NaN(),
+		LocalSVDStd:   1.5,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("non-finite statistics must still marshal: %v", err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round trip of %q: %v", data, err)
+	}
+	want := map[string]float64{
+		"globalRange": 1e308, "globalSill": -1e308, "localRangeStd": 0, "localSVDStd": 1.5,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %v, want %v", k, got[k], w)
+		}
+	}
+
+	// Finite statistics must be unaffected by the clamping marshaller.
+	fin := Statistics{GlobalRange: 12.5, GlobalSill: 1, LocalRangeStd: 0.25, LocalSVDStd: 3}
+	data, err = json.Marshal(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Statistics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != fin {
+		t.Fatalf("finite stats round trip: %+v != %+v", back, fin)
 	}
 }

@@ -45,10 +45,20 @@ func apiErrorf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// writeJSON marshals to a buffer before touching the ResponseWriter,
+// so a serialization failure surfaces as a 500 instead of a truncated
+// body behind an already-committed success header.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, `{"error":"encoding response failed"}`+"\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(buf, '\n'))
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
@@ -246,7 +256,29 @@ func parseAnalysisParams(q url.Values) (analysisParams, error) {
 	if p.window < 2 {
 		return p, apiErrorf(http.StatusBadRequest, "window must be >= 2, got %d", p.window)
 	}
+	if p.maxLag < 0 {
+		return p, apiErrorf(http.StatusBadRequest, "maxlag must be >= 0, got %d", p.maxLag)
+	}
 	return p, nil
+}
+
+// validateMaxLag bounds the lag cutoff by the field's own shape. The
+// direct scan enumerates O((2·maxlag+1)^ndim) lattice offsets and the
+// FFT path pads every axis by maxlag before transforming, so an
+// unbounded query parameter would let a tiny upload demand unbounded
+// CPU and memory regardless of the body-size cap. The ceiling is half
+// the smallest extent — the same value the engine substitutes for
+// maxlag=0 — so no request can cost more than the default already does.
+func validateMaxLag(maxLag int, f *field.Field) error {
+	ceil := f.MinDim() / 2
+	if ceil < 1 {
+		ceil = 1
+	}
+	if maxLag > ceil {
+		return apiErrorf(http.StatusBadRequest,
+			"maxlag %d exceeds the cap %d for this field (half its smallest extent)", maxLag, ceil)
+	}
+	return nil
 }
 
 func (p analysisParams) canon() string {
@@ -328,6 +360,9 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 	q := r.URL.Query()
 	p, err := parseAnalysisParams(q)
 	if err != nil {
+		return runSpec{}, err
+	}
+	if err := validateMaxLag(p.maxLag, f); err != nil {
 		return runSpec{}, err
 	}
 	workers := s.cfg.Workers
@@ -631,7 +666,11 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	if j.info.State == JobQueued {
 		// Never reached an executor; finalize here. runJob skips
-		// anything no longer queued.
+		// anything no longer queued. The job still occupies its queue
+		// slot until an executor drains it (near-instantly, since the
+		// early return does no work), so under heavy backlog admission
+		// capacity briefly counts cancelled-but-undrained jobs — a
+		// deliberate trade-off to keep admission a single channel send.
 		j.info.State = JobCancelled
 		j.info.Error = "cancelled before start"
 		j.info.FinishedAt = time.Now()

@@ -80,18 +80,23 @@ func (s *Server) submitJob(spec runSpec) (*job, error) {
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
 	j.info = JobInfo{ID: newJobID(), Kind: spec.kind, State: JobQueued, SubmittedAt: time.Now()}
 
+	// Registration and the enqueue attempt happen under one hold of
+	// jobMu: the send never blocks (admission is the channel's spare
+	// capacity), and keeping the lock across it means the rejection
+	// rollback truncates exactly the entry this call appended — with
+	// the lock released in between, a concurrent submit could append
+	// its own ID first and the truncation would orphan *that* job in
+	// s.jobs, invisible to listing and never evicted.
 	s.jobMu.Lock()
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
 	s.evictFinishedLocked()
-	s.jobMu.Unlock()
-
 	select {
 	case s.queue <- j:
+		s.jobMu.Unlock()
 		s.ctrSubmitted.Add(1)
 		return j, nil
 	default:
-		s.jobMu.Lock()
 		delete(s.jobs, j.info.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.jobMu.Unlock()
@@ -149,19 +154,27 @@ func (s *Server) executor() {
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	if j.info.State != JobQueued { // cancelled while waiting
+		j.spec = runSpec{kind: j.spec.kind}
 		j.mu.Unlock()
 		return
 	}
 	j.info.State = JobRunning
 	j.info.StartedAt = time.Now()
+	spec := j.spec
 	j.mu.Unlock()
 
-	val, cached, peak, err := s.execute(j.ctx, j.spec)
+	val, cached, peak, err := s.execute(j.ctx, spec)
 
 	now := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel() // release the context's resources either way
+	// Drop the spec once the run is over: its closure captures the
+	// fully parsed field (up to MaxBodyBytes of float64s), and with
+	// RetainedJobs finished jobs kept around for polling, holding every
+	// spec would pin gigabytes of field data nobody can ever use again.
+	// Only the kind survives, for the status endpoint.
+	j.spec = runSpec{kind: j.spec.kind}
 	j.info.FinishedAt = now
 	j.info.ElapsedMs = float64(now.Sub(j.info.StartedAt).Microseconds()) / 1e3
 	j.info.PoolPeakBytes = peak

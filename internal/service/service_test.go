@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -287,6 +290,11 @@ func TestRejectsMalformedRequests(t *testing.T) {
 		{"tagged rank bomb", "/v1/analyze", append([]byte("LCF1"), legacyHeader(0xffffffff, 0)...), http.StatusBadRequest},
 		{"bad window", "/v1/analyze?window=banana", valid, http.StatusBadRequest},
 		{"window too small", "/v1/analyze?window=1", valid, http.StatusBadRequest},
+		{"negative maxlag", "/v1/analyze?maxlag=-1", valid, http.StatusBadRequest},
+		{"maxlag lattice bomb", "/v1/analyze?maxlag=100000", valid, http.StatusBadRequest},
+		{"maxlag fft padding bomb", "/v1/analyze?vfft=true&maxlag=100000", valid, http.StatusBadRequest},
+		{"maxlag bomb via measure", "/v1/measure?maxlag=100000", valid, http.StatusBadRequest},
+		{"maxlag bomb via async job", "/v1/jobs/analyze?maxlag=100000", valid, http.StatusBadRequest},
 		{"bad bool", "/v1/analyze?vfft=maybe", valid, http.StatusBadRequest},
 		{"bad error bound", "/v1/measure?eb=-3", valid, http.StatusBadRequest},
 		{"unknown codec", "/v1/measure?codec=nope", valid, http.StatusBadRequest},
@@ -546,4 +554,153 @@ func TestConfigFromEnv(t *testing.T) {
 	}); err == nil {
 		t.Fatal("unparsable env value must error, not silently default")
 	}
+}
+
+// TestMaxLagBoundedByFieldShape pins the admission-side cost cap: the
+// lag cutoff is rejected above half the field's smallest extent — the
+// same ceiling the engine substitutes for maxlag=0 — so a tiny upload
+// cannot demand an enormous offset lattice or FFT padding, while a
+// request at the cap still runs.
+func TestMaxLagBoundedByFieldShape(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	body := gaussBody(t, 16, 4, 21) // 16x16: cap = 8
+
+	code, data := postBin(t, hs.URL+"/v1/analyze?maxlag=8", body)
+	if code != http.StatusOK {
+		t.Fatalf("maxlag at cap: got %d (%s), want 200", code, data)
+	}
+	code, data = postBin(t, hs.URL+"/v1/analyze?maxlag=9", body)
+	if code != http.StatusBadRequest {
+		t.Fatalf("maxlag over cap: got %d (%s), want 400", code, data)
+	}
+}
+
+// TestFinishedJobReleasesSpec pins the retention fix: once a job
+// reaches a terminal state its spec closure — which captures the fully
+// parsed field — must be dropped, or RetainedJobs finished jobs would
+// pin up to RetainedJobs×MaxBodyBytes of dead field data.
+func TestFinishedJobReleasesSpec(t *testing.T) {
+	s, hs := testServer(t, Config{})
+	code, data := postBin(t, hs.URL+"/v1/jobs/analyze", gaussBody(t, 32, 4, 22))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJobTerminal(t, hs.URL, info.ID); got.State != JobDone {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	j := s.lookupJob(info.ID)
+	if j == nil {
+		t.Fatal("finished job missing from table")
+	}
+	j.mu.Lock()
+	run, kind := j.spec.run, j.spec.kind
+	j.mu.Unlock()
+	if run != nil {
+		t.Fatal("finished job still holds its spec closure (pins the parsed field)")
+	}
+	if kind != "analyze" {
+		t.Fatalf("spec kind lost on release: %q", kind)
+	}
+}
+
+// TestWriteJSONMarshalFailure pins the buffer-first contract: a value
+// that cannot serialize yields a 500 with a JSON error body, never a
+// success header followed by a truncated body.
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("got %d, want 500", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Fatalf("error payload %q not JSON", rec.Body.String())
+	}
+}
+
+// TestQueueFullRollbackKeepsConcurrentJobs hammers submission against
+// a full queue with the executor wedged: every accepted job must stay
+// visible in the job table and listing, and every rejected submission
+// must leave no dangling ID behind — the regression that used to
+// truncate a concurrent submitter's entry off s.order.
+func TestQueueFullRollbackKeepsConcurrentJobs(t *testing.T) {
+	s, hs := testServer(t, Config{Executors: 1, MaxQueue: 2})
+	body := gaussBody(t, 16, 4, 23)
+
+	// Wedge the executor: CORRCOMPD jobs run specs, so occupy it with a
+	// job whose context we never cancel until the end.
+	block := make(chan struct{})
+	release := sync.OnceFunc(func() { close(block) })
+	defer release()
+	wedge, err := s.submitJob(runSpec{kind: "analyze", key: "wedge", run: func(ctx context.Context) (any, error) {
+		<-block
+		return analyzeResult{}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "wedge job to start", func() bool {
+		return wedge.snapshot().State == JobRunning
+	})
+
+	var wg sync.WaitGroup
+	var accepted, rejected atomic.Int64
+	acceptedIDs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				code, data := postBin(t, hs.URL+fmt.Sprintf("/v1/jobs/analyze?window=%d", 4+2*(g*8+i)), body)
+				switch code {
+				case http.StatusAccepted:
+					var info JobInfo
+					if err := json.Unmarshal(data, &info); err == nil {
+						acceptedIDs <- info.ID
+					}
+					accepted.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					t.Errorf("submit: unexpected %d (%s)", code, data)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(acceptedIDs)
+	if rejected.Load() == 0 {
+		t.Fatal("queue never filled; the rollback path was not exercised")
+	}
+
+	// Every accepted job must be addressable and listed — a lost one is
+	// the leaked-entry regression.
+	for id := range acceptedIDs {
+		if s.lookupJob(id) == nil {
+			t.Fatalf("accepted job %s vanished from the table", id)
+		}
+	}
+	s.jobMu.Lock()
+	ordered := len(s.order)
+	mapped := len(s.jobs)
+	for _, id := range s.order {
+		if s.jobs[id] == nil {
+			t.Errorf("dangling ID %s in order with no job", id)
+		}
+	}
+	s.jobMu.Unlock()
+	if ordered != mapped {
+		t.Fatalf("order (%d) and job table (%d) disagree: leaked or dangling entries", ordered, mapped)
+	}
+
+	release()
+	waitFor(t, 30*time.Second, "backlog to drain", func() bool {
+		st := s.Stats()
+		return st.QueueDepth == 0 && st.InFlight == 0 &&
+			st.JobsCompleted+st.JobsFailed+st.JobsCancelled == st.JobsSubmitted
+	})
 }
