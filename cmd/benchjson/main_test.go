@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,74 @@ func TestParse(t *testing.T) {
 	ex := rep.Benchmarks[3]
 	if ex.NsPerOp/vf.NsPerOp < 5 {
 		t.Fatalf("sample speedup %v < 5", ex.NsPerOp/vf.NsPerOp)
+	}
+}
+
+// TestLoadSniffsFormat pins the dual-input contract: the same loader
+// accepts raw bench text and an already-converted JSON report, so the
+// baseline gate works live in CI and offline on committed records.
+func TestLoadSniffsFormat(t *testing.T) {
+	fromText, err := load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText.Benchmarks) != 5 {
+		t.Fatalf("text: %d benchmarks, want 5", len(fromText.Benchmarks))
+	}
+	js, err := json.Marshal(fromText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := load(strings.NewReader("\n  " + string(js)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromText, fromJSON) {
+		t.Fatalf("JSON re-load diverged:\n%+v\n%+v", fromText, fromJSON)
+	}
+	empty, err := load(strings.NewReader(""))
+	if err != nil || len(empty.Benchmarks) != 0 {
+		t.Fatalf("empty input: (%+v, %v)", empty, err)
+	}
+	if _, err := load(strings.NewReader("{broken json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}
+
+// TestCompareBaseline pins the gate semantics: intersection by name,
+// positive delta = slower, only beyond-threshold slowdowns regress,
+// and one-sided benchmarks never fail the gate.
+func TestCompareBaseline(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 1000},
+		{Name: "BenchmarkGauge-8", Metrics: map[string]float64{"ratio": 2}},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1100},  // +10%: within threshold
+		{Name: "BenchmarkB-8", NsPerOp: 1200},  // +20%: regression
+		{Name: "BenchmarkNew-8", NsPerOp: 999}, // no baseline: skipped
+		{Name: "BenchmarkGauge-8", Metrics: map[string]float64{"ratio": 2}},
+	}}
+	diffs, regressed := compareBaseline(cur, base, 0.15)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs %+v, want 2 paired comparisons", diffs)
+	}
+	// Sorted worst-first.
+	if diffs[0].Name != "BenchmarkB-8" || diffs[1].Name != "BenchmarkA-8" {
+		t.Fatalf("order: %+v", diffs)
+	}
+	if len(regressed) != 1 || regressed[0].Name != "BenchmarkB-8" {
+		t.Fatalf("regressed %+v, want only BenchmarkB-8", regressed)
+	}
+	if d := regressed[0].Delta; d < 0.199 || d > 0.201 {
+		t.Fatalf("delta %v, want 0.2", d)
+	}
+	// A faster current run never regresses, at any threshold.
+	fast := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkB-8", NsPerOp: 500}}}
+	if _, reg := compareBaseline(fast, base, 0); len(reg) != 0 {
+		t.Fatalf("speedup flagged as regression: %+v", reg)
 	}
 }
 

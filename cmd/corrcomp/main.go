@@ -7,18 +7,22 @@
 // Subcommands:
 //
 //	corrcomp gen       -kind gaussian -rows 256 -cols 256 -range 16 -seed 1 -out field.bin
-//	corrcomp gen       -kind gaussian -dims 64,64,64 -range 6 -out vol.bin   # 3D volume
-//	corrcomp analyze   -in field.bin [-window 32]   # 2D or 3D, auto-detected
+//	corrcomp gen       -kind gaussian -dims 64,64,64 -range 6 -f32 -out vol.bin  # float32 lane
+//	corrcomp analyze   -in field.bin [-window 32]   # 2D or 3D, lane + rank auto-detected
+//	corrcomp analyze   -in field.bin -f32           # force the float32 compute lane
 //	corrcomp compress  -in field.bin -codec sz-like -eb 1e-3
 //	corrcomp sweep     -in field.bin            # the input's rank's codecs × paper bounds
 //	corrcomp predict   -size 128 -train 6       # train models, select codec
 //	corrcomp predict   -ndim 3 -size 24 -in vol.bin  # 3D models for a volume
 //	corrcomp list                               # available compressors per rank
 //
-// 2D fields are stored in the library's legacy binary format (two
-// uint32 dimensions + float64 payload, little endian); volumes use the
-// tagged "LCF1" field format. Every reader auto-detects the rank, so
-// analyze/compress/sweep/predict run the same pipeline on either.
+// 2D float64 fields are stored in the library's legacy binary format
+// (two uint32 dimensions + float64 payload, little endian); volumes
+// and float32-lane fields use the tagged "LCF1" field format (the
+// float32 element tag in the rank word). Every reader auto-detects
+// lane and rank, so analyze/compress/sweep run the matching pipeline:
+// float32 files flow through the half-bandwidth compute lane end to
+// end, with the error bound still checked on their values.
 package main
 
 import (
@@ -163,6 +167,7 @@ func cmdGen(args []string) error {
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("out", "field.bin", "output file")
 	pgm := fs.Bool("pgm", false, "also write a .pgm preview (2D only)")
+	f32 := fs.Bool("f32", false, "write the float32 lane (half the bytes; values narrowed once at generation)")
 	fs.Parse(args)
 
 	d3, err := parseDims(*dims)
@@ -220,7 +225,12 @@ func cmdGen(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if err := fld.WriteBinary(f); err != nil {
+	if *f32 {
+		err = fld.Narrow().WriteBinary(f)
+	} else {
+		err = fld.WriteBinary(f)
+	}
+	if err != nil {
 		return err
 	}
 	if *pgm {
@@ -251,6 +261,18 @@ func readField(path string) (*lossycorr.Field, error) {
 	return lossycorr.ReadField(f)
 }
 
+// readFieldAny reads a field on whichever lane the file declares:
+// exactly one return is non-nil. Local files are trusted, so the
+// element budget only guards against corrupted headers.
+func readFieldAny(path string) (*lossycorr.Field, *lossycorr.Field32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return lossycorr.ReadFieldAny(f, 1<<31)
+}
+
 func readField2D(path string) (*lossycorr.Grid, error) {
 	fld, err := readField(path)
 	if err != nil {
@@ -270,23 +292,40 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	gram := fs.Bool("gram", true, "Gram-matrix fast path for the local SVD statistic (-gram=false restores the full-SVD reference path)")
 	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan (real-input half-spectrum transforms; ~40% of the former complex-path memory)")
+	f32 := fs.Bool("f32", false, "run the float32 compute lane (a float64 input is narrowed first; float32 files use it automatically)")
 	fs.Parse(args)
 
-	fld, err := readField(*in)
+	fld, n32, err := readFieldAny(*in)
 	if err != nil {
 		return err
+	}
+	if *f32 && n32 == nil {
+		n32, fld = fld.Narrow(), nil
 	}
 	gm := lossycorr.SVDGramOn
 	if !*gram {
 		gm = lossycorr.SVDGramOff
 	}
-	stats, err := lossycorr.AnalyzeField(fld, lossycorr.AnalysisOptions{
+	opts := lossycorr.AnalysisOptions{
 		Window: *window, Workers: *workers, SVDGram: gm, VariogramFFT: *vfft,
-	})
+	}
+	var stats lossycorr.Statistics
+	var shape []int
+	if n32 != nil {
+		stats, err = lossycorr.AnalyzeField32(n32, opts)
+		shape = n32.Shape
+	} else {
+		stats, err = lossycorr.AnalyzeField(fld, opts)
+		shape = fld.Shape
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("field: %s\n", shapeString(fld.Shape))
+	lane := "float64"
+	if n32 != nil {
+		lane = "float32"
+	}
+	fmt.Printf("field: %s (%s lane)\n", shapeString(shape), lane)
 	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
 	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
 	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, *window)
@@ -301,23 +340,34 @@ func cmdCompress(args []string) error {
 	eb := fs.Float64("eb", 1e-3, "absolute error bound")
 	fs.Parse(args)
 
-	fld, err := readField(*in)
+	fld, n32, err := readFieldAny(*in)
 	if err != nil {
 		return err
 	}
+	rank := 0
+	if n32 != nil {
+		rank = n32.NDim()
+	} else {
+		rank = fld.NDim()
+	}
 	name := *codec
 	if name == "" {
-		if fld.NDim() == 2 {
+		if rank == 2 {
 			name = "sz-like" // historical default
 		} else {
-			names := lossycorr.CompressorsFor(fld.NDim())
+			names := lossycorr.CompressorsFor(rank)
 			if len(names) == 0 {
-				return fmt.Errorf("no codecs for rank-%d fields", fld.NDim())
+				return fmt.Errorf("no codecs for rank-%d fields", rank)
 			}
 			name = names[0]
 		}
 	}
-	res, err := lossycorr.MeasureField(name, fld, *eb)
+	var res lossycorr.Result
+	if n32 != nil {
+		res, err = lossycorr.MeasureField32(name, n32, *eb)
+	} else {
+		res, err = lossycorr.MeasureField(name, fld, *eb)
+	}
 	if err != nil {
 		return err
 	}
@@ -330,13 +380,24 @@ func cmdSweep(args []string) error {
 	in := fs.String("in", "field.bin", "input field (2D or 3D)")
 	fs.Parse(args)
 
-	fld, err := readField(*in)
+	fld, n32, err := readFieldAny(*in)
 	if err != nil {
 		return err
 	}
-	for _, name := range lossycorr.CompressorsFor(fld.NDim()) {
+	rank := 0
+	if n32 != nil {
+		rank = n32.NDim()
+	} else {
+		rank = fld.NDim()
+	}
+	for _, name := range lossycorr.CompressorsFor(rank) {
 		for _, eb := range lossycorr.PaperErrorBounds {
-			res, err := lossycorr.MeasureField(name, fld, eb)
+			var res lossycorr.Result
+			if n32 != nil {
+				res, err = lossycorr.MeasureField32(name, n32, eb)
+			} else {
+				res, err = lossycorr.MeasureField(name, fld, eb)
+			}
 			if err != nil {
 				return err
 			}

@@ -90,18 +90,37 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits returns the next count bits, MSB-first, as a uint64.
-// count must be <= 64.
+// count must be <= 64. Once the cursor reaches a byte boundary the
+// remaining full bytes are consumed with whole-byte reads, so batched
+// consumers (the ZFP-like plane decoder) pay ~1/8 the per-bit cost.
 func (r *Reader) ReadBits(count uint) (uint64, error) {
 	if count > 64 {
 		return 0, fmt.Errorf("bitstream: ReadBits count %d > 64", count)
 	}
 	var v uint64
-	for i := uint(0); i < count; i++ {
+	for count > 0 && r.bit != 0 {
 		b, err := r.ReadBit()
 		if err != nil {
 			return 0, err
 		}
 		v = v<<1 | uint64(b)
+		count--
+	}
+	for count >= 8 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrOutOfBits
+		}
+		v = v<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		count -= 8
+	}
+	for count > 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+		count--
 	}
 	return v, nil
 }

@@ -67,8 +67,42 @@ func (a gridAdapter) DecompressField(data []byte) (*field.Field, error) {
 	return field.FromGrid(g), nil
 }
 
-// WrapGrid adapts a 2D codec to the rank-generic interface (rank {2}).
-func WrapGrid(c Compressor) FieldCompressor { return gridAdapter{c} }
+// Lane32Grid is the optional float32 lane of a 2D codec: Compress32
+// must honor the bound on the float32 samples directly, without a
+// float64 staging copy of the field.
+type Lane32Grid interface {
+	Compress32(f *field.Field32, absErr float64) ([]byte, error)
+	Decompress32(data []byte) (*field.Field32, error)
+}
+
+// lane32GridAdapter forwards the float32 lane of codecs that have one,
+// so WrapGrid's result satisfies Lane32Compressor exactly when the
+// wrapped codec implements Lane32Grid.
+type lane32GridAdapter struct {
+	gridAdapter
+	l Lane32Grid
+}
+
+func (a lane32GridAdapter) CompressField32(f *field.Field32, absErr float64) ([]byte, error) {
+	if len(f.Shape) != 2 {
+		return nil, fmt.Errorf("compress: %s float32 lane needs rank 2, got %d", a.Name(), len(f.Shape))
+	}
+	return a.l.Compress32(f, absErr)
+}
+
+func (a lane32GridAdapter) DecompressField32(data []byte) (*field.Field32, error) {
+	return a.l.Decompress32(data)
+}
+
+// WrapGrid adapts a 2D codec to the rank-generic interface (rank {2}),
+// preserving a native float32 lane when the codec offers one.
+func WrapGrid(c Compressor) FieldCompressor {
+	g := gridAdapter{c}
+	if l, ok := c.(Lane32Grid); ok {
+		return lane32GridAdapter{g, l}
+	}
+	return g
+}
 
 type volumeAdapter struct{ c VolumeCompressor }
 

@@ -1,0 +1,148 @@
+package fft
+
+// Float32-lane pools and ND axis passes. The pool buckets, retention
+// rule (Release files by floor(log2(cap))), and live/peak byte
+// accounting are shared with the float64 lane — PeakBytes sums
+// checked-out bytes across all four element types, so the memory
+// gauges compare lanes on one scale. A complex64 element is 8 bytes
+// and a float32 element 4, which is where the lane's ~2× bandwidth
+// saving comes from.
+
+import (
+	"sync"
+
+	"lossycorr/internal/parallel"
+)
+
+var (
+	complex64Pools [64]sync.Pool
+	real32Pools    [64]sync.Pool
+)
+
+// AcquireComplex64 returns a []complex64 of length n (contents
+// unspecified) from the float32-lane pool, under the same bucket
+// contract as AcquireComplex. Release with ReleaseComplex64.
+func AcquireComplex64(n int) []complex64 {
+	if n <= 0 {
+		return nil
+	}
+	b := acquireBucket(n)
+	if v := complex64Pools[b].Get(); v != nil {
+		buf := *(v.(*[]complex64))
+		accountAcquire(int64(cap(buf)) * 8)
+		return buf[:n]
+	}
+	if b > 0 {
+		if v := complex64Pools[b-1].Get(); v != nil {
+			p := v.(*[]complex64)
+			if cap(*p) >= n {
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 8)
+				return buf[:n]
+			}
+			complex64Pools[b-1].Put(p)
+		}
+	}
+	buf := make([]complex64, n)
+	accountAcquire(int64(cap(buf)) * 8)
+	return buf
+}
+
+// ReleaseComplex64 returns a buffer obtained from AcquireComplex64 to
+// the pool, under the same any-capacity contract as ReleaseComplex.
+func ReleaseComplex64(buf []complex64) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	poolLiveBytes.Add(-int64(c) * 8)
+	buf = buf[:c]
+	complex64Pools[releaseBucket(c)].Put(&buf)
+}
+
+// AcquireReal32 returns a []float32 of length n (contents unspecified)
+// from the float32-lane pool — the padded-field and correlation-plane
+// storage of the float32 real-input engine. Release with ReleaseReal32.
+func AcquireReal32(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	b := acquireBucket(n)
+	if v := real32Pools[b].Get(); v != nil {
+		buf := *(v.(*[]float32))
+		accountAcquire(int64(cap(buf)) * 4)
+		return buf[:n]
+	}
+	if b > 0 {
+		if v := real32Pools[b-1].Get(); v != nil {
+			p := v.(*[]float32)
+			if cap(*p) >= n {
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 4)
+				return buf[:n]
+			}
+			real32Pools[b-1].Put(p)
+		}
+	}
+	buf := make([]float32, n)
+	accountAcquire(int64(cap(buf)) * 4)
+	return buf
+}
+
+// ReleaseReal32 returns a buffer obtained from AcquireReal32 to the
+// pool, under the same any-capacity contract as ReleaseReal.
+func ReleaseReal32(buf []float32) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	poolLiveBytes.Add(-int64(c) * 4)
+	buf = buf[:c]
+	real32Pools[releaseBucket(c)].Put(&buf)
+}
+
+// axisPass32 transforms every line of x along the given axis — the
+// complex64 mirror of axisPass, with the same span-based fan-out and
+// the same bit-identical-at-any-worker-count property.
+func axisPass32(x []complex64, dims []int, axis, workers int, inverse bool) {
+	d := dims[axis]
+	if d <= 1 {
+		return
+	}
+	p := planFor32(d)
+	stride := 1
+	for k := axis + 1; k < len(dims); k++ {
+		stride *= dims[k]
+	}
+	lines := len(x) / d
+	if axis == len(dims)-1 {
+		parallel.For(lines, workers, func(i int) {
+			p.transform(x[i*d:(i+1)*d], inverse)
+		})
+		return
+	}
+	spans := parallel.Resolve(workers, lines)
+	per := (lines + spans - 1) / spans
+	parallel.For(spans, spans, func(s int) {
+		lo, hi := s*per, (s+1)*per
+		if hi > lines {
+			hi = lines
+		}
+		if lo >= hi {
+			return
+		}
+		scratch := AcquireComplex64(d)
+		defer ReleaseComplex64(scratch)
+		for line := lo; line < hi; line++ {
+			o, i := line/stride, line%stride
+			base := o*d*stride + i
+			for k := 0; k < d; k++ {
+				scratch[k] = x[base+k*stride]
+			}
+			p.transform(scratch, inverse)
+			for k := 0; k < d; k++ {
+				x[base+k*stride] = scratch[k]
+			}
+		}
+	})
+}

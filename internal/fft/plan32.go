@@ -1,0 +1,229 @@
+package fft
+
+// Float32-lane line plans: a complex64 mirror of plan.go. Go's builtin
+// real/imag/complex do not operate on type-parameter values, and conj
+// is not expressible from ring operations alone, so a generics-unified
+// complex FFT is off the table; the lane gets its own concrete core
+// instead, byte-for-byte the same algorithm at half the bandwidth.
+// Twiddle tables and chirp filters are computed in float64 and
+// narrowed once at plan build, so the per-element rounding is the
+// representation error of the table, not an accumulated sin/cos drift.
+// Plans are immutable after construction and cached per length, and
+// per-line scratch comes from the complex64 pool, so the lane inherits
+// the bit-identical-at-any-worker-count property of the float64 core.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// twiddles32 returns the first half of the n-th roots of unity as
+// complex64, computed in float64 and narrowed.
+func twiddles32(n int) []complex64 {
+	w := make([]complex64, n/2)
+	for k := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(float32(c), float32(s))
+	}
+	return w
+}
+
+// fullTwiddles32 returns w[t] = exp(-2πi t/n) for t in [0, n).
+func fullTwiddles32(n int) []complex64 {
+	w := make([]complex64, n)
+	for t := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(t) / float64(n))
+		w[t] = complex(float32(c), float32(s))
+	}
+	return w
+}
+
+// transformTw32 is the radix-2 butterfly core over a precomputed
+// complex64 twiddle table (len(w) == len(x)/2).
+func transformTw32(x []complex64, w []complex64, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = complex(real(tw), -imag(tw))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// linePlan32 mirrors linePlan for the float32 lane.
+type linePlan32 struct {
+	n    int
+	kind planKind
+
+	w       []complex64
+	factors []int
+	pow2    int
+	pw      []complex64
+
+	m     int
+	wm    []complex64
+	chirp []complex64
+	bfft  []complex64
+}
+
+var planCache32 sync.Map // int -> *linePlan32
+
+func planFor32(n int) *linePlan32 {
+	if v, ok := planCache32.Load(n); ok {
+		return v.(*linePlan32)
+	}
+	p := newPlan32(n)
+	if v, loaded := planCache32.LoadOrStore(n, p); loaded {
+		return v.(*linePlan32)
+	}
+	return p
+}
+
+func newPlan32(n int) *linePlan32 {
+	if IsPow2(n) {
+		return &linePlan32{n: n, kind: planPow2, w: twiddles32(n)}
+	}
+	pow2 := 1
+	rest := n
+	for rest%2 == 0 {
+		pow2 *= 2
+		rest /= 2
+	}
+	var odd []int
+	for _, f := range []int{3, 5, 7} {
+		for rest%f == 0 {
+			odd = append(odd, f)
+			rest /= f
+		}
+	}
+	if rest == 1 {
+		return &linePlan32{
+			n: n, kind: planMixed,
+			w: fullTwiddles32(n), factors: odd,
+			pow2: pow2, pw: twiddles32(pow2),
+		}
+	}
+	m := NextPow2(2*n - 1)
+	p := &linePlan32{n: n, kind: planBluestein, m: m, wm: twiddles32(m)}
+	p.chirp = make([]complex64, n)
+	for j := 0; j < n; j++ {
+		t := (j * j) % (2 * n)
+		s, c := math.Sincos(-math.Pi * float64(t) / float64(n))
+		p.chirp[j] = complex(float32(c), float32(s))
+	}
+	b := make([]complex64, m)
+	for j := 0; j < n; j++ {
+		v := complex(real(p.chirp[j]), -imag(p.chirp[j]))
+		b[j] = v
+		if j > 0 {
+			b[m-j] = v
+		}
+	}
+	transformTw32(b, p.wm, false)
+	p.bfft = b
+	return p
+}
+
+// transform runs the unnormalized DFT (or unnormalized inverse DFT) of
+// one line in place. len(x) must equal p.n.
+func (p *linePlan32) transform(x []complex64, inverse bool) {
+	switch p.kind {
+	case planPow2:
+		transformTw32(x, p.w, inverse)
+	case planMixed:
+		scratch := AcquireComplex64(p.n)
+		copy(scratch, x)
+		p.mixedRec(x, scratch, p.n, 1, 1, p.factors, inverse)
+		ReleaseComplex64(scratch)
+	default:
+		p.bluestein(x, inverse)
+	}
+}
+
+func (p *linePlan32) tw(t int, inverse bool) complex64 {
+	v := p.w[t]
+	if inverse {
+		return complex(real(v), -imag(v))
+	}
+	return v
+}
+
+func (p *linePlan32) mixedRec(dst, src []complex64, n, stride, mult int, factors []int, inverse bool) {
+	if len(factors) == 0 {
+		for j := 0; j < n; j++ {
+			dst[j] = src[j*stride]
+		}
+		if n > 1 {
+			transformTw32(dst, p.pw, inverse)
+		}
+		return
+	}
+	r := factors[0]
+	m := n / r
+	for j2 := 0; j2 < r; j2++ {
+		p.mixedRec(dst[j2*m:(j2+1)*m], src[j2*stride:], m, stride*r, mult*r, factors[1:], inverse)
+	}
+	var u [8]complex64
+	rs := p.n / r
+	for k2 := 0; k2 < m; k2++ {
+		for j2 := 0; j2 < r; j2++ {
+			u[j2] = dst[j2*m+k2] * p.tw(mult*j2*k2, inverse)
+		}
+		for k1 := 0; k1 < r; k1++ {
+			s := u[0]
+			for j2 := 1; j2 < r; j2++ {
+				s += u[j2] * p.tw((j2*k1%r)*rs, inverse)
+			}
+			dst[k1*m+k2] = s
+		}
+	}
+}
+
+func (p *linePlan32) bluestein(x []complex64, inverse bool) {
+	n, m := p.n, p.m
+	if inverse {
+		for i, v := range x {
+			x[i] = complex(real(v), -imag(v))
+		}
+	}
+	u := AcquireComplex64(m)
+	for j := 0; j < n; j++ {
+		u[j] = x[j] * p.chirp[j]
+	}
+	for j := n; j < m; j++ {
+		u[j] = 0
+	}
+	transformTw32(u, p.wm, false)
+	for i := range u {
+		u[i] *= p.bfft[i]
+	}
+	transformTw32(u, p.wm, true)
+	s := complex(1/float32(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = p.chirp[k] * u[k] * s
+	}
+	ReleaseComplex64(u)
+	if inverse {
+		for i, v := range x {
+			x[i] = complex(real(v), -imag(v))
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package fft
+
+// Float32-lane real-input transforms in half-spectrum form — the
+// complex64 mirror of realnd.go. Same pack-two-reals even last axis,
+// same odd-length fallback, same leading-axis complex passes, and the
+// same determinism contract; unpack twiddles are computed in float64
+// and narrowed once per plan shape. The inverse normalization factor
+// is computed in float64 and narrowed once, so only the final per-
+// element multiply rounds in float32.
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/parallel"
+)
+
+// EmbedReal32 zero-fills dst (shape dstDims) and copies the float32
+// field src (shape srcDims, same rank, extents <= dstDims) into its
+// leading corner.
+func EmbedReal32(dst []float32, dstDims []int, src []float32, srcDims []int) error {
+	n := 1
+	for _, d := range dstDims {
+		n *= d
+	}
+	if len(dst) != n {
+		return fmt.Errorf("fft: pad buffer length %d != product of %v", len(dst), dstDims)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return ForEachEmbeddedRow(srcDims, dstDims, func(srcOff, dstOff, n int) {
+		copy(dst[dstOff:dstOff+n], src[srcOff:srcOff+n])
+	})
+}
+
+// realTwiddles32 returns exp(-2πik/n) for k = 0..n/2 as complex64.
+func realTwiddles32(n int) []complex64 {
+	w := make([]complex64, n/2+1)
+	for k := range w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(float32(c), float32(s))
+	}
+	return w
+}
+
+// lineSpans32 is forLineSpans with complex64 scratch: at most `workers`
+// contiguous spans, one pooled scratch per span, fn once per line.
+func lineSpans32(lines, workers, scratchLen int, fn func(y []complex64, line int)) {
+	spans := parallel.Resolve(workers, lines)
+	per := (lines + spans - 1) / spans
+	parallel.For(spans, spans, func(s int) {
+		lo, hi := s*per, (s+1)*per
+		if hi > lines {
+			hi = lines
+		}
+		if lo >= hi {
+			return
+		}
+		y := AcquireComplex64(scratchLen)
+		defer ReleaseComplex64(y)
+		for line := lo; line < hi; line++ {
+			fn(y, line)
+		}
+	})
+}
+
+// ForwardRealND32 computes the unnormalized forward DFT of the float32
+// row-major field src (shape dims, any extents) into dst in
+// half-spectrum form; len(dst) must be HalfLen(dims). dst is fully
+// overwritten. Bit-identical at any worker count.
+func ForwardRealND32(src []float32, dims []int, dst []complex64, workers int) error {
+	nd := len(dims)
+	if nd == 0 {
+		return fmt.Errorf("fft: rank-0 transform")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("fft: extent %d is not positive", d)
+		}
+		total *= d
+	}
+	if len(src) != total {
+		return fmt.Errorf("fft: real buffer length %d != product of %v", len(src), dims)
+	}
+	if len(dst) != HalfLen(dims) {
+		return fmt.Errorf("fft: half-spectrum length %d != HalfLen %d", len(dst), HalfLen(dims))
+	}
+	nx := dims[nd-1]
+	hc := nx/2 + 1
+	lines := total / nx
+
+	if nx%2 == 0 && nx > 1 {
+		N := nx / 2
+		p := planFor32(N)
+		rw := realTwiddles32(nx)
+		lineSpans32(lines, workers, N, func(y []complex64, li int) {
+			in := src[li*nx : (li+1)*nx]
+			out := dst[li*hc : (li+1)*hc]
+			for j := 0; j < N; j++ {
+				y[j] = complex(in[2*j], in[2*j+1])
+			}
+			p.transform(y, false)
+			for k := 0; k <= N; k++ {
+				yk := y[k%N]
+				ynk := y[(N-k)%N]
+				cynk := complex(real(ynk), -imag(ynk))
+				e := (yk + cynk) * 0.5
+				o := (yk - cynk) * complex(0, -0.5)
+				out[k] = e + rw[k]*o
+			}
+		})
+	} else {
+		p := planFor32(nx)
+		lineSpans32(lines, workers, nx, func(y []complex64, li int) {
+			in := src[li*nx : (li+1)*nx]
+			for j, v := range in {
+				y[j] = complex(v, 0)
+			}
+			p.transform(y, false)
+			copy(dst[li*hc:(li+1)*hc], y[:hc])
+		})
+	}
+
+	hd := halfDims(dims)
+	for axis := nd - 2; axis >= 0; axis-- {
+		axisPass32(dst, hd, axis, workers, false)
+	}
+	return nil
+}
+
+// InverseRealND32 inverts ForwardRealND32: spec is a half-spectrum of
+// shape dims (it is clobbered), dst receives the float32 field and
+// must have length = product of dims. InverseRealND32(ForwardRealND32(x))
+// == x up to float32 roundoff. Bit-identical at any worker count.
+func InverseRealND32(spec []complex64, dims []int, dst []float32, workers int) error {
+	nd := len(dims)
+	if nd == 0 {
+		return fmt.Errorf("fft: rank-0 transform")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("fft: extent %d is not positive", d)
+		}
+		total *= d
+	}
+	if len(dst) != total {
+		return fmt.Errorf("fft: real buffer length %d != product of %v", len(dst), dims)
+	}
+	if len(spec) != HalfLen(dims) {
+		return fmt.Errorf("fft: half-spectrum length %d != HalfLen %d", len(spec), HalfLen(dims))
+	}
+	nx := dims[nd-1]
+	hc := nx/2 + 1
+	lines := total / nx
+	lead := lines
+
+	hd := halfDims(dims)
+	for axis := 0; axis < nd-1; axis++ {
+		axisPass32(spec, hd, axis, workers, true)
+	}
+
+	if nx%2 == 0 && nx > 1 {
+		N := nx / 2
+		p := planFor32(N)
+		rw := realTwiddles32(nx)
+		scale := float32(1 / (float64(N) * float64(lead)))
+		lineSpans32(lines, workers, N, func(y []complex64, li int) {
+			in := spec[li*hc : (li+1)*hc]
+			out := dst[li*nx : (li+1)*nx]
+			for k := 0; k < N; k++ {
+				xk := in[k]
+				xnk := in[N-k]
+				cxnk := complex(real(xnk), -imag(xnk))
+				e := (xk + cxnk) * 0.5
+				o := (xk - cxnk) * 0.5 * complex(real(rw[k]), -imag(rw[k]))
+				y[k] = e + o*complex(0, 1)
+			}
+			p.transform(y, true)
+			for j := 0; j < N; j++ {
+				out[2*j] = real(y[j]) * scale
+				out[2*j+1] = imag(y[j]) * scale
+			}
+		})
+	} else {
+		p := planFor32(nx)
+		scale := float32(1 / (float64(nx) * float64(lead)))
+		lineSpans32(lines, workers, nx, func(y []complex64, li int) {
+			in := spec[li*hc : (li+1)*hc]
+			out := dst[li*nx : (li+1)*nx]
+			copy(y[:hc], in)
+			for k := hc; k < nx; k++ {
+				v := in[nx-k]
+				y[k] = complex(real(v), -imag(v))
+			}
+			p.transform(y, true)
+			for j := 0; j < nx; j++ {
+				out[j] = real(y[j]) * scale
+			}
+		})
+	}
+	return nil
+}
+
+// MulConj32 sets a[i] = conj(a[i])·b[i] on complex64 half-spectra.
+func MulConj32(a, b []complex64) {
+	for i, v := range a {
+		a[i] = complex(real(v), -imag(v)) * b[i]
+	}
+}
+
+// AbsSq32 sets a[i] = |a[i]|² on a complex64 half-spectrum.
+func AbsSq32(a []complex64) {
+	for i, v := range a {
+		a[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
+	}
+}

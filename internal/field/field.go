@@ -33,12 +33,9 @@ type Field struct {
 
 // New returns a zero-filled field with the given shape.
 func New(shape ...int) *Field {
-	n := 1
-	for _, s := range shape {
-		if s < 0 {
-			panic(fmt.Sprintf("field: negative dimension in shape %v", shape))
-		}
-		n *= s
+	n, err := shapeProduct(shape)
+	if err != nil {
+		panic(err.Error())
 	}
 	return &Field{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
 }
@@ -46,12 +43,9 @@ func New(shape ...int) *Field {
 // FromData wraps an existing flat slice; it does not copy. The slice
 // length must equal the product of the shape.
 func FromData(shape []int, data []float64) (*Field, error) {
-	n := 1
-	for _, s := range shape {
-		if s < 0 {
-			return nil, fmt.Errorf("field: negative dimension in shape %v", shape)
-		}
-		n *= s
+	n, err := shapeProduct(shape)
+	if err != nil {
+		return nil, err
 	}
 	if len(data) != n {
 		return nil, fmt.Errorf("field: data length %d != product of shape %v", len(data), shape)
@@ -116,14 +110,7 @@ func (f *Field) MinDim() int {
 
 // Strides returns the element stride of each dimension (last is 1).
 func (f *Field) Strides() []int {
-	d := len(f.Shape)
-	st := make([]int, d)
-	acc := 1
-	for k := d - 1; k >= 0; k-- {
-		st[k] = acc
-		acc *= f.Shape[k]
-	}
-	return st
+	return stridesOf(f.Shape, make([]int, len(f.Shape)))
 }
 
 // At returns the element at the given index tuple.
@@ -137,14 +124,7 @@ func (f *Field) Set(v float64, idx ...int) {
 }
 
 func (f *Field) flatIndex(idx []int) int {
-	if len(idx) != len(f.Shape) {
-		panic(fmt.Sprintf("field: index rank %d != field rank %d", len(idx), len(f.Shape)))
-	}
-	flat := 0
-	for k, i := range idx {
-		flat = flat*f.Shape[k] + i
-	}
-	return flat
+	return flatOffset(f.Shape, idx)
 }
 
 // Clone returns a deep copy.
@@ -158,39 +138,12 @@ func (f *Field) Clone() *Field {
 // arithmetic identical to (*grid.Grid).Summary so statistics computed
 // through the field layer reproduce the historical 2D values bitwise.
 func (f *Field) Summary() grid.Stats {
-	s := grid.Stats{Min: math.Inf(1), Max: math.Inf(-1)}
-	if len(f.Data) == 0 {
-		return grid.Stats{}
-	}
-	var mean, m2 float64
-	for i, v := range f.Data {
-		if v < s.Min {
-			s.Min = v
-		}
-		if v > s.Max {
-			s.Max = v
-		}
-		d := v - mean
-		mean += d / float64(i+1)
-		m2 += d * (v - mean)
-	}
-	s.Mean = mean
-	s.Variance = m2 / float64(len(f.Data))
-	s.ValueRange = s.Max - s.Min
-	return s
+	return summarize(f.Data)
 }
 
 // SameShape reports whether two fields agree in rank and extents.
 func (f *Field) SameShape(o *Field) bool {
-	if len(f.Shape) != len(o.Shape) {
-		return false
-	}
-	for k := range f.Shape {
-		if f.Shape[k] != o.Shape[k] {
-			return false
-		}
-	}
-	return true
+	return sameExtents(f.Shape, o.Shape)
 }
 
 // MaxAbsDiff returns max|f-o| over all elements; shapes must agree.
@@ -198,14 +151,7 @@ func (f *Field) MaxAbsDiff(o *Field) (float64, error) {
 	if !f.SameShape(o) {
 		return 0, fmt.Errorf("field: shape mismatch %v vs %v", f.Shape, o.Shape)
 	}
-	var m float64
-	for i := range f.Data {
-		d := math.Abs(f.Data[i] - o.Data[i])
-		if d > m {
-			m = d
-		}
-	}
-	return m, nil
+	return maxAbsDiffData(f.Data, o.Data), nil
 }
 
 // MSE returns the mean squared error between two equally shaped fields.
@@ -213,15 +159,7 @@ func (f *Field) MSE(o *Field) (float64, error) {
 	if !f.SameShape(o) {
 		return 0, fmt.Errorf("field: shape mismatch %v vs %v", f.Shape, o.Shape)
 	}
-	if len(f.Data) == 0 {
-		return 0, nil
-	}
-	var sum float64
-	for i := range f.Data {
-		d := f.Data[i] - o.Data[i]
-		sum += d * d
-	}
-	return sum / float64(len(f.Data)), nil
+	return mseData(f.Data, o.Data), nil
 }
 
 // Window copies the hypercube with the given origin corner and edge h,
@@ -235,132 +173,41 @@ func (f *Field) Window(origin []int, h int) *Field {
 // data storage when their capacities allow — the zero-allocation form
 // the windowed statistics feed from a per-worker pool. It returns dst.
 func (f *Field) WindowInto(dst *Field, origin []int, h int) *Field {
-	d := len(f.Shape)
-	if len(origin) != d {
-		panic(fmt.Sprintf("field: window origin rank %d != field rank %d", len(origin), d))
-	}
-	if cap(dst.Shape) >= d {
-		dst.Shape = dst.Shape[:d]
-	} else {
-		dst.Shape = make([]int, d)
-	}
-	ext := dst.Shape
-	n := 1
-	for k := range origin {
-		if origin[k] < 0 || origin[k] >= f.Shape[k] {
-			panic(fmt.Sprintf("field: window origin %v outside shape %v", origin, f.Shape))
-		}
-		ext[k] = h
-		if origin[k]+h > f.Shape[k] {
-			ext[k] = f.Shape[k] - origin[k]
-		}
-		n *= ext[k]
-	}
-	if cap(dst.Data) >= n {
-		dst.Data = dst.Data[:n]
-	} else {
-		dst.Data = make([]float64, n)
-	}
-	w := dst
-	if n == 0 {
-		return w
-	}
-	var stBuf [8]int
-	var st []int
-	if d <= len(stBuf) {
-		st = stBuf[:d]
-		acc := 1
-		for k := d - 1; k >= 0; k-- {
-			st[k] = acc
-			acc *= f.Shape[k]
-		}
-	} else {
-		st = f.Strides()
-	}
-	// Copy one contiguous run of the last dimension at a time, walking
-	// the outer dimensions with an odometer (stack-allocated for the
-	// ranks the pipeline uses).
-	var odo [8]int
-	var outer []int
-	if d-1 <= len(odo) {
-		outer = odo[:d-1]
-		for k := range outer {
-			outer[k] = 0
-		}
-	} else {
-		outer = make([]int, d-1)
-	}
-	for {
-		src := origin[d-1]
-		dstOff := 0
-		for k := 0; k < d-1; k++ {
-			src += (origin[k] + outer[k]) * st[k]
-			dstOff = dstOff*ext[k] + outer[k]
-		}
-		dstOff *= ext[d-1]
-		copy(w.Data[dstOff:dstOff+ext[d-1]], f.Data[src:src+ext[d-1]])
-		k := d - 2
-		for ; k >= 0; k-- {
-			outer[k]++
-			if outer[k] < ext[k] {
-				break
-			}
-			outer[k] = 0
-		}
-		if k < 0 {
-			break
-		}
-	}
-	return w
+	dst.Shape, dst.Data = windowIntoData(f.Shape, f.Data, dst.Shape, dst.Data, origin, h)
+	return dst
 }
 
 // TileOrigins returns the origin corner of every h-edged tile covering
 // the field in lexicographic (slowest-dimension-first) order — for a
 // rank-2 field, exactly the order (*grid.Grid).TileOrigins visits.
 func (f *Field) TileOrigins(h int) [][]int {
-	if h <= 0 {
-		panic("field: non-positive tile size")
-	}
-	d := len(f.Shape)
-	if d == 0 || f.Len() == 0 {
-		return nil
-	}
-	origins := make([][]int, 0, f.NumTiles(h))
-	cur := make([]int, d)
-	for {
-		origins = append(origins, append([]int(nil), cur...))
-		k := d - 1
-		for ; k >= 0; k-- {
-			cur[k] += h
-			if cur[k] < f.Shape[k] {
-				break
-			}
-			cur[k] = 0
-		}
-		if k < 0 {
-			break
-		}
-	}
-	return origins
+	return tileOriginsOf(f.Shape, h)
 }
 
 // NumTiles returns how many h-edged tiles (including clipped edge
 // tiles) cover the field.
 func (f *Field) NumTiles(h int) int {
-	n := 1
-	for _, s := range f.Shape {
-		n *= (s + h - 1) / h
-	}
-	return n
+	return numTilesOf(f.Shape, h)
 }
 
-// Binary format. Rank-2 fields use the legacy grid layout (two uint32
-// dimensions + float64 payload, little endian) so files written by
-// either layer stay interchangeable. Other ranks use a tagged layout:
-// the magic "LCF1", a uint32 rank, the uint32 extents, then the
-// payload. ReadBinary sniffs the magic and accepts both.
+// Binary format. Rank-2 float64 fields use the legacy grid layout (two
+// uint32 dimensions + float64 payload, little endian) so files written
+// by either layer stay interchangeable. Other ranks use a tagged
+// layout: the magic "LCF1", a uint32 rank word, the uint32 extents,
+// then the payload. ReadBinary sniffs the magic and accepts both.
+//
+// The float32 lane sets f32LaneFlag in the rank word (rank stays in
+// the low bits) and stores a float32 payload; Field32.WriteBinary
+// emits it for every rank, including 2. Readers predating the flag
+// reject such files with "unreasonable rank" rather than misreading
+// them, and legacy-2D/float64 detection is unchanged.
 
 var magic = [4]byte{'L', 'C', 'F', '1'}
+
+// f32LaneFlag marks a float32 payload in the LCF1 rank word. The flag
+// sits far above the 1..8 rank range, so any flagged word read by an
+// older binary fails rank validation instead of decoding garbage.
+const f32LaneFlag = 0x00010000
 
 // maxElems is the absolute element-count ceiling of ReadBinary: even a
 // well-formed header may not ask for more than 2^30 elements (8 GiB of
@@ -445,43 +292,70 @@ func ReadBinary(r io.Reader) (*Field, error) {
 // entry point the corrcompd upload path uses, with its budget derived
 // from the configured request-body limit.
 func ReadBinaryLimit(r io.Reader, maxElements int) (*Field, error) {
+	f, f32, err := ReadAnyLimit(r, maxElements)
+	if err != nil {
+		return nil, err
+	}
+	if f32 != nil {
+		return f32.Widen(), nil
+	}
+	return f, nil
+}
+
+// ReadAnyLimit reads either compute lane under the same allocation
+// budget, preserving the lane the file was written in: exactly one of
+// the returned fields is non-nil — *Field for legacy-2D and untagged
+// LCF1 (float64) layouts, *Field32 when the rank word carries
+// f32LaneFlag. Callers that only speak float64 use ReadBinaryLimit,
+// which widens transparently; lane-aware callers (the service upload
+// path, corrcomp -f32) dispatch on which pointer is set.
+func ReadAnyLimit(r io.Reader, maxElements int) (*Field, *Field32, error) {
 	hdr := make([]byte, 8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("field: short header: %w", err)
+		return nil, nil, fmt.Errorf("field: short header: %w", err)
 	}
 	if hdr[0] == magic[0] && hdr[1] == magic[1] && hdr[2] == magic[2] && hdr[3] == magic[3] {
-		d := int(binary.LittleEndian.Uint32(hdr[4:]))
+		word := binary.LittleEndian.Uint32(hdr[4:])
+		f32 := word&f32LaneFlag != 0
+		d := int(word &^ uint32(f32LaneFlag))
 		if d < 1 || d > 8 {
-			return nil, fmt.Errorf("field: unreasonable rank %d", d)
+			return nil, nil, fmt.Errorf("field: unreasonable rank %d", d)
 		}
 		dims := make([]byte, 4*d)
 		if _, err := io.ReadFull(r, dims); err != nil {
-			return nil, fmt.Errorf("field: short shape: %w", err)
+			return nil, nil, fmt.Errorf("field: short shape: %w", err)
 		}
 		shape := make([]int, d)
 		for k := range shape {
 			shape[k] = int(binary.LittleEndian.Uint32(dims[4*k:]))
 		}
 		if _, err := validateShape(shape, maxElements); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if f32 {
+			f := New32(shape...)
+			if err := readPayload32(r, f.Data); err != nil {
+				return nil, nil, err
+			}
+			return nil, f, nil
 		}
 		f := New(shape...)
 		if err := readPayload(r, f.Data); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return f, nil
+		return f, nil, nil
 	}
 	// Legacy 2D layout: the 8 bytes already read are the dimensions.
 	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
 	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
 	if _, err := validateShape([]int{rows, cols}, maxElements); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	f := New(rows, cols)
 	if err := readPayload(r, f.Data); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return f, nil
+	return f, nil, nil
 }
 
 func readPayload(r io.Reader, data []float64) error {

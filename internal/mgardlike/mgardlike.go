@@ -66,38 +66,39 @@ func onLattice(i, s int) bool { return i%s == 0 }
 // neighbors), or interior (four diagonal neighbors); one-sided copies
 // handle clipped boundaries.
 func interpolate(recon *grid.Grid, r, c, s int) float64 {
+	// Flat addressing: each neighbor is one add away from a precomputed
+	// row offset instead of a full r*Cols+c multiply per At call — this
+	// is the innermost read of every level sweep.
+	data, cols := recon.Data, recon.Cols
+	row := r * cols
 	s2 := 2 * s
 	coarseR := onLattice(r, s2)
 	coarseC := onLattice(c, s2)
 	switch {
 	case coarseR && !coarseC:
-		l := c - s
-		rgt := c + s
-		if rgt < recon.Cols {
-			return 0.5 * (recon.At(r, l) + recon.At(r, rgt))
+		if c+s < cols {
+			return 0.5 * (data[row+c-s] + data[row+c+s])
 		}
-		return recon.At(r, l)
+		return data[row+c-s]
 	case !coarseR && coarseC:
-		up := r - s
-		dn := r + s
-		if dn < recon.Rows {
-			return 0.5 * (recon.At(up, c) + recon.At(dn, c))
+		if r+s < recon.Rows {
+			return 0.5 * (data[row-s*cols+c] + data[row+s*cols+c])
 		}
-		return recon.At(up, c)
+		return data[row-s*cols+c]
 	default: // interior of a coarse cell: average available diagonals
-		up, dn := r-s, r+s
+		upRow, dnRow := row-s*cols, row+s*cols
 		l, rgt := c-s, c+s
-		sum := recon.At(up, l)
+		sum := data[upRow+l]
 		n := 1.0
-		if rgt < recon.Cols {
-			sum += recon.At(up, rgt)
+		if rgt < cols {
+			sum += data[upRow+rgt]
 			n++
 		}
-		if dn < recon.Rows {
-			sum += recon.At(dn, l)
+		if r+s < recon.Rows {
+			sum += data[dnRow+l]
 			n++
-			if rgt < recon.Cols {
-				sum += recon.At(dn, rgt)
+			if rgt < cols {
+				sum += data[dnRow+rgt]
 				n++
 			}
 		}
@@ -164,7 +165,7 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 	for l := L - 1; l >= 0; l-- {
 		s := 1 << uint(l)
 		forEachLevelNode(g.Rows, g.Cols, s, func(r, c int) {
-			v := g.At(r, c)
+			v := g.Data[r*g.Cols+c]
 			pred := interpolate(g, r, c, s)
 			sym, _, ok := q.Encode(v - pred)
 			if !ok {

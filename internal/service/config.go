@@ -46,6 +46,13 @@ type Config struct {
 	// executor; further submissions get 429. Env CORRCOMPD_MAX_QUEUE;
 	// default 64.
 	MaxQueue int
+	// MemBudget caps the summed predicted transform peak (the
+	// Π FastLen(dimₖ+L) plane formula, per lane) of admitted async jobs:
+	// a submission whose prediction does not fit in the remaining budget
+	// is rejected with 429 and the prediction in the response body, so a
+	// client can shrink maxlag or split the field instead of OOMing the
+	// server. 0 disables the check. Env CORRCOMPD_MEM_BUDGET (bytes).
+	MemBudget int64
 	// Executors is the number of concurrent job runners. Each runner
 	// drives one pipeline whose inner parallelism draws from the global
 	// worker-pool token budget, so a small executor count keeps the
@@ -152,6 +159,13 @@ func FromEnv(getenv func(string) string) (Config, error) {
 			return c, fmt.Errorf("service: CORRCOMPD_MAX_BODY_BYTES=%q: %v", s, err)
 		}
 		c.MaxBodyBytes = n
+	}
+	if s := getenv("CORRCOMPD_MEM_BUDGET"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("service: CORRCOMPD_MEM_BUDGET=%q: %v", s, err)
+		}
+		c.MemBudget = n
 	}
 	if s := getenv("CORRCOMPD_STATS_PERIOD"); s != "" {
 		d, err := time.ParseDuration(s)

@@ -43,13 +43,25 @@ func FuzzFieldUpload(f *testing.F) {
 		tagged = binary.LittleEndian.AppendUint64(tagged, uint64(i)<<51)
 	}
 	f.Add(tagged)
+	// Valid float32-lane field (the 0x00010000 lane flag in the rank
+	// word, 4-byte elements).
+	const f32Flag = 0x00010000
+	narrow := append([]byte("LCF1"), u32(2|f32Flag, 4, 4)...)
+	for i := 0; i < 16; i++ {
+		narrow = binary.LittleEndian.AppendUint32(narrow, uint32(i)<<23)
+	}
+	f.Add(narrow)
 	f.Add([]byte{})
 	f.Add([]byte("LCF1"))
-	f.Add(u32(0, 16))                                          // zero extent
-	f.Add(u32(0xffffffff, 0xffffffff))                         // 16-exabyte promise
-	f.Add(append([]byte("LCF1"), u32(0xffffffff)...))          // rank bomb
-	f.Add(append([]byte("LCF1"), u32(3, 1024, 1024, 1024)...)) // overflow product
-	f.Add(u32(100, 100))                                       // truncated payload
+	f.Add(u32(0, 16))                                                // zero extent
+	f.Add(u32(0xffffffff, 0xffffffff))                               // 16-exabyte promise
+	f.Add(append([]byte("LCF1"), u32(0xffffffff)...))                // rank bomb
+	f.Add(append([]byte("LCF1"), u32(3, 1024, 1024, 1024)...))       // overflow product
+	f.Add(u32(100, 100))                                             // truncated payload
+	f.Add(narrow[:len(narrow)-7])                                    // truncated float32 payload
+	f.Add(append([]byte("LCF1"), u32(2|f32Flag, 0, 8)...))           // zero extent, float32 lane
+	f.Add(append([]byte("LCF1"), u32(200|f32Flag)...))               // rank bomb behind the lane flag
+	f.Add(append([]byte("LCF1"), u32(2|f32Flag, 0xffff, 0xffff)...)) // float32 header over the element budget
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		rec := httptest.NewRecorder()
@@ -60,7 +72,7 @@ func FuzzFieldUpload(f *testing.F) {
 		case code == http.StatusOK || (code >= 400 && code < 500):
 			// parsed and analyzed, or cleanly rejected
 		case code >= 500:
-			if _, err := field.ReadBinaryLimit(bytes.NewReader(body), maxBody/8); err != nil {
+			if _, _, err := field.ReadAnyLimit(bytes.NewReader(body), maxBody/8); err != nil {
 				t.Fatalf("5xx for a body the reader rejects (%v): %s", err, rec.Body)
 			}
 			// a parseable field whose analysis failed — acceptable

@@ -18,19 +18,22 @@ import (
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/core"
+	"lossycorr/internal/fft"
 	"lossycorr/internal/field"
 	"lossycorr/internal/gaussian"
 	"lossycorr/internal/svdstat"
 )
 
 // runSpec is one executable request: the pipeline kind, its content
-// address, and the closure that computes the result under a context.
+// address, the closure that computes the result under a context, and
+// the predicted transform peak used by memory-budget admission.
 // Sync endpoints run specs on the request goroutine with the request's
 // context; async jobs run them on an executor with the job's context.
 type runSpec struct {
-	kind string
-	key  string
-	run  func(ctx context.Context) (any, error)
+	kind      string
+	key       string
+	peakBytes int64
+	run       func(ctx context.Context) (any, error)
 }
 
 // apiError carries an HTTP status through the handler plumbing.
@@ -95,19 +98,56 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) maxElements() int { return int(s.cfg.MaxBodyBytes / 8) }
 
+// uploadField is the lane-dispatched result of a field upload: exactly
+// one of the two lanes is set, per the wire format's element tag. Both
+// lanes flow through the same option validation and cache addressing
+// (the lane is part of the raw bytes, so the content address already
+// distinguishes them); the spec builders pick the pipeline.
+type uploadField struct {
+	wide   *field.Field
+	narrow *field.Field32
+}
+
+func (u uploadField) shape() []int {
+	if u.narrow != nil {
+		return u.narrow.Shape
+	}
+	return u.wide.Shape
+}
+
+func (u uploadField) ndim() int { return len(u.shape()) }
+
+func (u uploadField) minDim() int {
+	if u.narrow != nil {
+		return u.narrow.MinDim()
+	}
+	return u.wide.MinDim()
+}
+
+// elemBytes is the lane's element width — the factor the float32 lane
+// halves in every transform plane and pooled buffer.
+func (u uploadField) elemBytes() int64 {
+	if u.narrow != nil {
+		return 4
+	}
+	return 8
+}
+
 // fieldFromRequest resolves the field of a request: the raw body
 // (bounded by MaxBodyBytes) or a ?dataset=name reference into the
 // server's data directory. The raw bytes feed the content address;
 // the parsed field feeds the pipeline. The byte budget is enforced
 // before the parse and the parse validates the header's shape before
 // allocating, so a hostile request cannot make the server reserve
-// more memory than the configured body cap.
-func (s *Server) fieldFromRequest(w http.ResponseWriter, r *http.Request) ([]byte, *field.Field, error) {
+// more memory than the configured body cap. (The element budget is
+// derived from the float64 width for both lanes, so the guarantee
+// holds regardless of which lane the header claims.)
+func (s *Server) fieldFromRequest(w http.ResponseWriter, r *http.Request) ([]byte, uploadField, error) {
 	var raw []byte
 	if name := r.URL.Query().Get("dataset"); name != "" {
 		var err error
 		if raw, err = s.readDataset(name); err != nil {
-			return nil, nil, err
+			return nil, uploadField{}, err
 		}
 	} else {
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -115,21 +155,21 @@ func (s *Server) fieldFromRequest(w http.ResponseWriter, r *http.Request) ([]byt
 		if raw, err = io.ReadAll(body); err != nil {
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
-				return nil, nil, apiErrorf(http.StatusRequestEntityTooLarge,
+				return nil, uploadField{}, apiErrorf(http.StatusRequestEntityTooLarge,
 					"body exceeds %d bytes", s.cfg.MaxBodyBytes)
 			}
-			return nil, nil, apiErrorf(http.StatusBadRequest, "reading body: %v", err)
+			return nil, uploadField{}, apiErrorf(http.StatusBadRequest, "reading body: %v", err)
 		}
 	}
 	if len(raw) == 0 {
-		return nil, nil, apiErrorf(http.StatusBadRequest,
+		return nil, uploadField{}, apiErrorf(http.StatusBadRequest,
 			"empty field payload: POST a binary field or pass ?dataset=name")
 	}
-	f, err := field.ReadBinaryLimit(bytes.NewReader(raw), s.maxElements())
+	wide, narrow, err := field.ReadAnyLimit(bytes.NewReader(raw), s.maxElements())
 	if err != nil {
-		return nil, nil, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
+		return nil, uploadField{}, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
 	}
-	return raw, f, nil
+	return raw, uploadField{wide: wide, narrow: narrow}, nil
 }
 
 func (s *Server) readDataset(name string) ([]byte, error) {
@@ -269,8 +309,8 @@ func parseAnalysisParams(q url.Values) (analysisParams, error) {
 // CPU and memory regardless of the body-size cap. The ceiling is half
 // the smallest extent — the same value the engine substitutes for
 // maxlag=0 — so no request can cost more than the default already does.
-func validateMaxLag(maxLag int, f *field.Field) error {
-	ceil := f.MinDim() / 2
+func validateMaxLag(maxLag, minDim int) error {
+	ceil := minDim / 2
 	if ceil < 1 {
 		ceil = 1
 	}
@@ -279,6 +319,37 @@ func validateMaxLag(maxLag int, f *field.Field) error {
 			"maxlag %d exceeds the cap %d for this field (half its smallest extent)", maxLag, ceil)
 	}
 	return nil
+}
+
+// predictedPeakBytes estimates the transform working set of one
+// pipeline run on u before it is admitted: the FFT exact engine holds
+// at most four padded planes of Π_k FastLen(dim_k + L) elements at the
+// lane's width (the float64 engine peaks at 2 real + 2 half-spectrum
+// planes; the float32 engine at one fewer, so four is an upper bound
+// for both). Without the FFT engine the working set is the windowed
+// extraction's, bounded by the field itself — which the body cap
+// already limits — so the prediction degenerates to the field bytes.
+func predictedPeakBytes(u uploadField, p analysisParams) int64 {
+	dims := u.shape()
+	lag := p.maxLag
+	if lag == 0 {
+		// The engine's substitute for maxlag=0: half the smallest extent.
+		if lag = u.minDim() / 2; lag < 1 {
+			lag = 1
+		}
+	}
+	if !p.vfft {
+		total := u.elemBytes()
+		for _, d := range dims {
+			total *= int64(d)
+		}
+		return total
+	}
+	plane := u.elemBytes()
+	for _, d := range dims {
+		plane *= int64(fft.FastLen(d + lag))
+	}
+	return 4 * plane
 }
 
 func (p analysisParams) canon() string {
@@ -353,7 +424,7 @@ type predictResult struct {
 // codec names — before any pipeline work, so every 4xx happens at
 // submit time and an admitted job can only fail on compute errors.
 func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) (runSpec, error) {
-	raw, f, err := s.fieldFromRequest(w, r)
+	raw, u, err := s.fieldFromRequest(w, r)
 	if err != nil {
 		return runSpec{}, err
 	}
@@ -362,22 +433,35 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 	if err != nil {
 		return runSpec{}, err
 	}
-	if err := validateMaxLag(p.maxLag, f); err != nil {
+	if err := validateMaxLag(p.maxLag, u.minDim()); err != nil {
 		return runSpec{}, err
 	}
 	workers := s.cfg.Workers
+	shape := u.shape()
+
+	// analyzeLane runs the analysis stage of any kind on the upload's
+	// own lane: float32 uploads keep their half-bandwidth pipeline end
+	// to end instead of being silently widened at the door.
+	analyzeLane := func(ctx context.Context, aOpts core.AnalysisOptions) (core.Statistics, error) {
+		if u.narrow != nil {
+			return core.AnalyzeField32Ctx(ctx, u.narrow, aOpts)
+		}
+		return core.AnalyzeFieldCtx(ctx, u.wide, aOpts)
+	}
+
 	switch kind {
 	case "analyze":
 		aOpts := p.options(workers)
 		return runSpec{
-			kind: kind,
-			key:  cacheKey(kind, p.canon(), raw),
+			kind:      kind,
+			key:       cacheKey(kind, p.canon(), raw),
+			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
-				stats, err := core.AnalyzeFieldCtx(ctx, f, aOpts)
+				stats, err := analyzeLane(ctx, aOpts)
 				if err != nil {
 					return nil, err
 				}
-				return analyzeResult{Shape: f.Shape, Stats: stats}, nil
+				return analyzeResult{Shape: shape, Stats: stats}, nil
 			},
 		}, nil
 
@@ -389,7 +473,7 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		codec := q.Get("codec")
 		reg := core.DefaultRegistry()
 		if codec != "" {
-			c, err := reg.GetFor(codec, f.NDim())
+			c, err := reg.GetFor(codec, u.ndim())
 			if err != nil {
 				return runSpec{}, apiErrorf(http.StatusBadRequest, "%v", err)
 			}
@@ -402,19 +486,26 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		canon := p.canon() + "|ebs=" + canonFloats(ebs) + "|codec=" + codec
 		mOpts := core.MeasureOptions{Analysis: p.options(workers), ErrorBounds: ebs, Workers: workers}
 		return runSpec{
-			kind: kind,
-			key:  cacheKey(kind, canon, raw),
+			kind:      kind,
+			key:       cacheKey(kind, canon, raw),
+			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
-				ms, err := core.MeasureFieldSetCtx(ctx, "request", []*field.Field{f}, nil, reg, mOpts)
+				var ms []core.Measurement
+				var err error
+				if u.narrow != nil {
+					ms, err = core.MeasureFieldSet32Ctx(ctx, "request", []*field.Field32{u.narrow}, nil, reg, mOpts)
+				} else {
+					ms, err = core.MeasureFieldSetCtx(ctx, "request", []*field.Field{u.wide}, nil, reg, mOpts)
+				}
 				if err != nil {
 					return nil, err
 				}
-				return measureResult{Shape: f.Shape, Stats: ms[0].Stats, Results: ms[0].Results}, nil
+				return measureResult{Shape: shape, Stats: ms[0].Stats, Results: ms[0].Results}, nil
 			},
 		}, nil
 
 	case "predict":
-		rank := f.NDim()
+		rank := u.ndim()
 		if rank != 2 && rank != 3 {
 			return runSpec{}, apiErrorf(http.StatusBadRequest,
 				"prediction supports rank 2 and 3 fields, got rank %d", rank)
@@ -438,18 +529,19 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		aOpts := p.options(workers)
 		canon := p.canon() + "|eb=" + fmtFloat(eb) + "|codec=" + codec + "|" + s.trainCanon(rank, eb)
 		return runSpec{
-			kind: kind,
-			key:  cacheKey(kind, canon, raw),
+			kind:      kind,
+			key:       cacheKey(kind, canon, raw),
+			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
 				pred, err := s.predictor(ctx, rank, eb)
 				if err != nil {
 					return nil, err
 				}
-				stats, err := core.AnalyzeFieldCtx(ctx, f, aOpts)
+				stats, err := analyzeLane(ctx, aOpts)
 				if err != nil {
 					return nil, err
 				}
-				res := predictResult{Shape: f.Shape, Stats: stats, ErrorBound: eb}
+				res := predictResult{Shape: shape, Stats: stats, ErrorBound: eb}
 				if codec != "" {
 					ratio, err := pred.PredictRatio(codec, eb, stats)
 					if err != nil {
@@ -597,6 +689,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(err, errQueueFull) {
 		s.writeError(w, apiErrorf(http.StatusTooManyRequests,
 			"job queue full (%d waiting); retry later", s.cfg.MaxQueue))
+		return
+	}
+	var mbe *memBudgetError
+	if errors.As(err, &mbe) {
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":              mbe.Error(),
+			"predictedPeakBytes": mbe.predicted,
+			"memReservedBytes":   mbe.reserved,
+			"memBudgetBytes":     mbe.budget,
+		})
 		return
 	}
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	cryptorand "crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -37,11 +38,15 @@ type JobInfo struct {
 	// PoolPeakBytes is the FFT buffer pool's peak while the job ran —
 	// exact when the job was the only pipeline in flight, an upper
 	// bound otherwise (the pool is process-global).
-	PoolPeakBytes int64     `json:"poolPeakBytes,omitempty"`
-	ElapsedMs     float64   `json:"elapsedMs,omitempty"`
-	SubmittedAt   time.Time `json:"submittedAt"`
-	StartedAt     time.Time `json:"startedAt,omitzero"`
-	FinishedAt    time.Time `json:"finishedAt,omitzero"`
+	PoolPeakBytes int64 `json:"poolPeakBytes,omitempty"`
+	// PredictedPeakBytes is the transform-peak prediction admission
+	// charged this job against Config.MemBudget (0 when the budget is
+	// disabled).
+	PredictedPeakBytes int64     `json:"predictedPeakBytes,omitempty"`
+	ElapsedMs          float64   `json:"elapsedMs,omitempty"`
+	SubmittedAt        time.Time `json:"submittedAt"`
+	StartedAt          time.Time `json:"startedAt,omitzero"`
+	FinishedAt         time.Time `json:"finishedAt,omitzero"`
 }
 
 type job struct {
@@ -63,6 +68,20 @@ func (j *job) snapshot() JobInfo {
 // 429 Too Many Requests.
 var errQueueFull = errors.New("service: job queue full")
 
+// memBudgetError is memory admission's rejection: the job's predicted
+// transform peak does not fit in what remains of Config.MemBudget.
+// Handlers map it to 429 with the prediction in the body, so the
+// client can shrink maxlag, drop to the float32 lane, or retry after
+// the backlog drains.
+type memBudgetError struct {
+	predicted, reserved, budget int64
+}
+
+func (e *memBudgetError) Error() string {
+	return fmt.Sprintf("service: predicted transform peak %d bytes does not fit the memory budget (%d of %d bytes already reserved)",
+		e.predicted, e.reserved, e.budget)
+}
+
 func newJobID() string {
 	var b [8]byte
 	if _, err := cryptorand.Read(b[:]); err != nil {
@@ -71,10 +90,12 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// submitJob admits a job to the bounded queue, or rejects it with
-// errQueueFull without ever blocking the caller: admission is the
-// queue channel's capacity, so the number of pipelines waiting on the
-// executor fan-out can never grow past Config.MaxQueue.
+// submitJob admits a job to the bounded queue, or rejects it without
+// ever blocking the caller: errQueueFull when the queue channel's
+// capacity is spent (so the number of pipelines waiting on the
+// executor fan-out can never grow past Config.MaxQueue), and a
+// memBudgetError when the job's predicted transform peak does not fit
+// in what remains of Config.MemBudget across every admitted job.
 func (s *Server) submitJob(spec runSpec) (*job, error) {
 	j := &job{spec: spec}
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
@@ -86,8 +107,21 @@ func (s *Server) submitJob(spec runSpec) (*job, error) {
 	// rollback truncates exactly the entry this call appended — with
 	// the lock released in between, a concurrent submit could append
 	// its own ID first and the truncation would orphan *that* job in
-	// s.jobs, invisible to listing and never evicted.
+	// s.jobs, invisible to listing and never evicted. The memory
+	// reservation lives under the same hold, so reserve + enqueue is
+	// one atomic admission decision.
 	s.jobMu.Lock()
+	if b := s.cfg.MemBudget; b > 0 {
+		if s.memReserved+spec.peakBytes > b {
+			reserved := s.memReserved
+			s.jobMu.Unlock()
+			j.cancel()
+			s.ctrRejected.Add(1)
+			return nil, &memBudgetError{predicted: spec.peakBytes, reserved: reserved, budget: b}
+		}
+		s.memReserved += spec.peakBytes
+		j.info.PredictedPeakBytes = spec.peakBytes
+	}
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
 	s.evictFinishedLocked()
@@ -97,6 +131,9 @@ func (s *Server) submitJob(spec runSpec) (*job, error) {
 		s.ctrSubmitted.Add(1)
 		return j, nil
 	default:
+		if s.cfg.MemBudget > 0 {
+			s.memReserved -= spec.peakBytes
+		}
 		delete(s.jobs, j.info.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.jobMu.Unlock()
@@ -104,6 +141,19 @@ func (s *Server) submitJob(spec runSpec) (*job, error) {
 		s.ctrRejected.Add(1)
 		return nil, errQueueFull
 	}
+}
+
+// releaseMem returns a job's admission reservation once its pipeline
+// can no longer allocate (finished, failed, or drained after a
+// pre-start cancellation). No-op when the budget is disabled, so the
+// counter is only ever touched by the code path that reserved it.
+func (s *Server) releaseMem(n int64) {
+	if s.cfg.MemBudget <= 0 || n <= 0 {
+		return
+	}
+	s.jobMu.Lock()
+	s.memReserved -= n
+	s.jobMu.Unlock()
 }
 
 func (s *Server) lookupJob(id string) *job {
@@ -153,9 +203,11 @@ func (s *Server) executor() {
 
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
+	reserved := j.spec.peakBytes
 	if j.info.State != JobQueued { // cancelled while waiting
 		j.spec = runSpec{kind: j.spec.kind}
 		j.mu.Unlock()
+		s.releaseMem(reserved)
 		return
 	}
 	j.info.State = JobRunning
@@ -164,6 +216,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	val, cached, peak, err := s.execute(j.ctx, spec)
+	s.releaseMem(reserved)
 
 	now := time.Now()
 	j.mu.Lock()

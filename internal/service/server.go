@@ -34,6 +34,10 @@ type Server struct {
 	jobMu sync.Mutex
 	jobs  map[string]*job
 	order []string // submission order, for finished-job eviction
+	// memReserved sums the predicted transform peaks of admitted
+	// (queued or running) jobs when Config.MemBudget is set; guarded by
+	// jobMu so reserve + enqueue is one atomic admission decision.
+	memReserved int64
 
 	inFlight atomic.Int64
 
@@ -116,6 +120,9 @@ type StatsSnapshot struct {
 	PoolPeakBytes    int64 `json:"poolPeakBytes"`
 	LiveExtraWorkers int64 `json:"liveExtraWorkers"`
 	PeakExtraWorkers int64 `json:"peakExtraWorkers"`
+	// MemReservedBytes sums the predicted transform peaks of admitted
+	// async jobs (0 unless Config.MemBudget is set).
+	MemReservedBytes int64 `json:"memReservedBytes"`
 }
 
 // Stats snapshots the counters. It is the machine-readable probe the
@@ -124,14 +131,18 @@ type StatsSnapshot struct {
 // and token-budget health after cancellations (LiveExtraWorkers
 // returns to idle).
 func (s *Server) Stats() StatsSnapshot {
+	s.jobMu.Lock()
+	memReserved := s.memReserved
+	s.jobMu.Unlock()
 	return StatsSnapshot{
-		JobsSubmitted: s.ctrSubmitted.Load(),
-		JobsRejected:  s.ctrRejected.Load(),
-		JobsCompleted: s.ctrCompleted.Load(),
-		JobsFailed:    s.ctrFailed.Load(),
-		JobsCancelled: s.ctrCancelled.Load(),
-		QueueDepth:    len(s.queue),
-		InFlight:      s.inFlight.Load(),
+		MemReservedBytes: memReserved,
+		JobsSubmitted:    s.ctrSubmitted.Load(),
+		JobsRejected:     s.ctrRejected.Load(),
+		JobsCompleted:    s.ctrCompleted.Load(),
+		JobsFailed:       s.ctrFailed.Load(),
+		JobsCancelled:    s.ctrCancelled.Load(),
+		QueueDepth:       len(s.queue),
+		InFlight:         s.inFlight.Load(),
 
 		CacheEntries:  s.cache.len(),
 		CacheHits:     s.ctrCacheHits.Load(),

@@ -1,0 +1,67 @@
+package svdstat
+
+// Float32-lane entry points. The eigensolves themselves stay in oracle
+// precision: each window of the float32 field is widened (exactly)
+// into a pooled float64 Field during extraction, so the per-window
+// level arithmetic — and therefore the statistic's tolerance story —
+// is identical to the float64 lane on exactly-corresponding values,
+// without ever materializing a full-size float64 copy of the field.
+
+import (
+	"context"
+	"fmt"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/parallel"
+)
+
+// LocalLevelsField32 tiles a float32 field with h-edged hypercube
+// windows and returns the truncation level of every window — the
+// float32 mirror of LocalLevelsField, bit-identical to running the
+// float64 path on the widened field.
+func LocalLevelsField32(f *field.Field32, h int, opts Options) ([]float64, error) {
+	return LocalLevelsField32Ctx(context.Background(), f, h, opts)
+}
+
+// LocalLevelsField32Ctx is LocalLevelsField32 with cooperative
+// cancellation of the window sweep.
+func LocalLevelsField32Ctx(ctx context.Context, f *field.Field32, h int, opts Options) ([]float64, error) {
+	if h < 2 {
+		return nil, fmt.Errorf("svdstat: window %d too small", h)
+	}
+	o := opts.withDefaults()
+	origins := f.TileOrigins(h)
+	return parallel.FilterMapErrCtx(ctx, len(origins), o.Workers, func(i int) (float64, bool, error) {
+		w := windowPool.Get().(*field.Field)
+		defer windowPool.Put(w)
+		f.WindowIntoWide(w, origins[i], h)
+		if w.MinDim() < 2 {
+			return 0, false, nil
+		}
+		k, err := windowLevel(w, o)
+		if err != nil {
+			return 0, false, err
+		}
+		return float64(k), true, nil
+	})
+}
+
+// LocalStdField32 is the paper's statistic for a float32 field of any
+// rank: the standard deviation of local truncation levels.
+func LocalStdField32(f *field.Field32, h int, opts Options) (float64, error) {
+	return LocalStdField32Ctx(context.Background(), f, h, opts)
+}
+
+// LocalStdField32Ctx is LocalStdField32 with cooperative cancellation
+// of the window sweep.
+func LocalStdField32Ctx(ctx context.Context, f *field.Field32, h int, opts Options) (float64, error) {
+	levels, err := LocalLevelsField32Ctx(ctx, f, h, opts)
+	if err != nil {
+		return 0, err
+	}
+	if len(levels) == 0 {
+		return 0, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", h, f.Shape)
+	}
+	return linalg.Std(levels), nil
+}

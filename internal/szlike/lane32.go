@@ -1,0 +1,394 @@
+package szlike
+
+// Native float32 lane of the SZ-like codec. The quantizer consumes
+// float32 samples directly — prediction arithmetic runs in float64
+// (widening a float32 is exact), but the reconstruction mirror, the
+// escape store, and the decompressed field are all float32, so no
+// full-field float64 staging copy exists on either side and the stream
+// carries 4-byte escapes instead of 8.
+//
+// The error bound is pinned on the float32 values: after quantization
+// the reconstructed sample is narrowed to float32 and re-checked
+// against the bound; the rare sample whose narrow rounding lands it
+// outside escapes to exact storage (a float32 is stored exactly in 4
+// bytes). Decompression replays the same float32 mirror, so compressor
+// and decompressor reconstructions are bitwise identical.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/field"
+	"lossycorr/internal/huffman"
+	"lossycorr/internal/lossless"
+	"lossycorr/internal/quant"
+)
+
+var magic32 = [4]byte{'S', 'Z', 'L', 'f'}
+
+var _ compress.Lane32Grid = Compressor{}
+
+// scratch32 recycles the float32 reconstruction mirror across calls.
+type scratch32 struct {
+	recon   []float32
+	symbols []uint16
+	modes   []byte
+}
+
+var scratch32Pool = sync.Pool{New: func() any { return new(scratch32) }}
+
+func growFloats32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// regressionCoeffs32 is regressionCoeffs over float32 rows with float64
+// accumulation; widening is exact, so the fit equals the float64 path
+// on the widened block.
+func regressionCoeffs32(data []float32, gcols, r0, c0, rows, cols int) (b0, b1, b2 float64) {
+	n := float64(rows * cols)
+	var sr, sc, sv, srv, scv float64
+	for r := 0; r < rows; r++ {
+		base := (r0+r)*gcols + c0
+		row := data[base : base+cols]
+		for c, v32 := range row {
+			v := float64(v32)
+			sr += float64(r)
+			sc += float64(c)
+			sv += v
+			srv += float64(r) * v
+			scv += float64(c) * v
+		}
+	}
+	mr, mc, mv := sr/n, sc/n, sv/n
+	var srr, scc float64
+	for r := 0; r < rows; r++ {
+		dr := float64(r) - mr
+		srr += dr * dr * float64(cols)
+	}
+	for c := 0; c < cols; c++ {
+		dc := float64(c) - mc
+		scc += dc * dc * float64(rows)
+	}
+	if srr > 0 {
+		b1 = (srv - mr*sv) / srr
+	}
+	if scc > 0 {
+		b2 = (scv - mc*sv) / scc
+	}
+	b0 = mv - b1*mr - b2*mc
+	b0 = float64(float32(b0))
+	b1 = float64(float32(b1))
+	b2 = float64(float32(b2))
+	return
+}
+
+// estimateBlockErrors32 mirrors estimateBlockErrors over float32 rows.
+func estimateBlockErrors32(data []float32, gcols, r0, c0, rows, cols int, b0, b1, b2 float64) (lorenzo, regression float64) {
+	for r := 0; r < rows; r++ {
+		gr := r0 + r
+		base := gr*gcols + c0
+		cur := data[base : base+cols]
+		var up []float32
+		if gr > 0 {
+			up = data[base-gcols : base-gcols+cols]
+		}
+		rowPred := b0 + b1*float64(r)
+		for c, v32 := range cur {
+			v := float64(v32)
+			var a, b, d float64
+			if gr > 0 {
+				a = float64(up[c])
+			}
+			if c > 0 {
+				b = float64(cur[c-1])
+				if gr > 0 {
+					d = float64(up[c-1])
+				}
+			} else if c0 > 0 {
+				b = float64(data[base-1])
+				if gr > 0 {
+					d = float64(data[base-gcols-1])
+				}
+			}
+			le := v - (a + b - d)
+			lorenzo += le * le
+			re := v - (rowPred + b2*float64(c))
+			regression += re * re
+		}
+	}
+	return
+}
+
+// Compress32 implements compress.Lane32Grid.
+func (cc Compressor) Compress32(f *field.Field32, absErr float64) ([]byte, error) {
+	if absErr <= 0 {
+		return nil, fmt.Errorf("szlike: non-positive error bound %v", absErr)
+	}
+	if len(f.Shape) != 2 {
+		return nil, fmt.Errorf("szlike: float32 lane needs rank 2, got %d", len(f.Shape))
+	}
+	gRows, gCols := f.Shape[0], f.Shape[1]
+	if f.Len() == 0 {
+		return nil, errors.New("szlike: empty field")
+	}
+	q := quant.New(absErr)
+	sc := scratch32Pool.Get().(*scratch32)
+	defer scratch32Pool.Put(sc)
+	sc.recon = growFloats32(sc.recon, f.Len())
+	recon := sc.recon
+
+	nbr := (gRows + BlockSize - 1) / BlockSize
+	nbc := (gCols + BlockSize - 1) / BlockSize
+	modes := sc.modes[:0]
+	var coeffs []float32
+	symbols := sc.symbols[:0]
+	var exact []float32
+
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*BlockSize, bc*BlockSize
+			rows, cols := BlockSize, BlockSize
+			if r0+rows > gRows {
+				rows = gRows - r0
+			}
+			if c0+cols > gCols {
+				cols = gCols - c0
+			}
+			b0, b1, b2 := regressionCoeffs32(f.Data, gCols, r0, c0, rows, cols)
+			var mode byte
+			switch cc.Mode {
+			case PredictorLorenzoOnly:
+				mode = modeLorenzo
+			case PredictorRegressionOnly:
+				mode = modeRegression
+			default:
+				le, re := estimateBlockErrors32(f.Data, gCols, r0, c0, rows, cols, b0, b1, b2)
+				mode = modeLorenzo
+				if re < le {
+					mode = modeRegression
+				}
+			}
+			modes = append(modes, mode)
+			if mode == modeRegression {
+				coeffs = append(coeffs, float32(b0), float32(b1), float32(b2))
+			}
+			for r := 0; r < rows; r++ {
+				gr := r0 + r
+				base := gr*gCols + c0
+				src := f.Data[base : base+cols]
+				rec := recon[base : base+cols]
+				var up []float32
+				if gr > 0 {
+					up = recon[base-gCols : base-gCols+cols]
+				}
+				rowPred := b0 + b1*float64(r)
+				for c, v32 := range src {
+					v := float64(v32)
+					var pred float64
+					if mode == modeLorenzo {
+						var a, b, d float64
+						if gr > 0 {
+							a = float64(up[c])
+						}
+						if c > 0 {
+							b = float64(rec[c-1])
+							if gr > 0 {
+								d = float64(up[c-1])
+							}
+						} else if c0 > 0 {
+							b = float64(recon[base-1])
+							if gr > 0 {
+								d = float64(recon[base-gCols-1])
+							}
+						}
+						pred = a + b - d
+					} else {
+						pred = rowPred + b2*float64(c)
+					}
+					if sym, delta, ok := q.Encode(v - pred); ok {
+						// Post-narrow guard: the bound must hold on the
+						// float32 value the consumer will read.
+						rv := float32(pred + delta)
+						if math.Abs(float64(rv)-v) <= absErr {
+							symbols = append(symbols, sym)
+							rec[c] = rv
+							continue
+						}
+					}
+					symbols = append(symbols, quant.Escape)
+					exact = append(exact, v32)
+					rec[c] = v32
+				}
+			}
+		}
+	}
+
+	huff := huffman.Encode(symbols)
+	sc.modes, sc.symbols = modes, symbols
+
+	var buf []byte
+	buf = append(buf, magic32[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(gRows))
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(gCols))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, modes...)
+	for _, cf := range coeffs {
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(cf))
+		buf = append(buf, tmp[:4]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(exact)))
+	buf = append(buf, tmp[:4]...)
+	for _, v := range exact {
+		binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(v))
+		buf = append(buf, tmp[:4]...)
+	}
+	buf = append(buf, huff...)
+	return lossless.Compress(buf)
+}
+
+// Decompress32 implements compress.Lane32Grid.
+func (Compressor) Decompress32(data []byte) (*field.Field32, error) {
+	raw, err := lossless.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(raw) < 20 || raw[0] != magic32[0] || raw[1] != magic32[1] || raw[2] != magic32[2] || raw[3] != magic32[3] {
+		return nil, ErrCorrupt
+	}
+	rows := int(binary.LittleEndian.Uint32(raw[4:]))
+	cols := int(binary.LittleEndian.Uint32(raw[8:]))
+	absErr := math.Float64frombits(binary.LittleEndian.Uint64(raw[12:]))
+	if rows <= 0 || cols <= 0 || absErr <= 0 || rows*cols > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	pos := 20
+	nbr := (rows + BlockSize - 1) / BlockSize
+	nbc := (cols + BlockSize - 1) / BlockSize
+	nBlocks := nbr * nbc
+	if len(raw) < pos+nBlocks {
+		return nil, ErrCorrupt
+	}
+	modes := raw[pos : pos+nBlocks]
+	pos += nBlocks
+	nReg := 0
+	for _, m := range modes {
+		switch m {
+		case modeRegression:
+			nReg++
+		case modeLorenzo:
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if len(raw) < pos+12*nReg+4 {
+		return nil, ErrCorrupt
+	}
+	coeffs := make([]float64, 0, 3*nReg)
+	for i := 0; i < 3*nReg; i++ {
+		coeffs = append(coeffs, float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[pos:]))))
+		pos += 4
+	}
+	nExact := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if nExact < 0 || len(raw) < pos+4*nExact {
+		return nil, ErrCorrupt
+	}
+	exact := make([]float32, nExact)
+	for i := range exact {
+		exact[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[pos:]))
+		pos += 4
+	}
+	symbols, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("szlike: %w", err)
+	}
+	if len(symbols) != rows*cols {
+		return nil, ErrCorrupt
+	}
+
+	q := quant.New(absErr)
+	out := field.New32(rows, cols)
+	recon := out.Data
+	si, ei, ci, bi := 0, 0, 0, 0
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			r0, c0 := br*BlockSize, bc*BlockSize
+			brows, bcols := BlockSize, BlockSize
+			if r0+brows > rows {
+				brows = rows - r0
+			}
+			if c0+bcols > cols {
+				bcols = cols - c0
+			}
+			mode := modes[bi]
+			bi++
+			var b0, b1, b2 float64
+			if mode == modeRegression {
+				b0, b1, b2 = coeffs[ci], coeffs[ci+1], coeffs[ci+2]
+				ci += 3
+			}
+			for r := 0; r < brows; r++ {
+				gr := r0 + r
+				base := gr*cols + c0
+				rec := recon[base : base+bcols]
+				syms := symbols[si : si+bcols]
+				si += bcols
+				var up []float32
+				if gr > 0 {
+					up = recon[base-cols : base-cols+bcols]
+				}
+				rowPred := b0 + b1*float64(r)
+				for c, sym := range syms {
+					if sym == quant.Escape {
+						if ei >= len(exact) {
+							return nil, ErrCorrupt
+						}
+						rec[c] = exact[ei]
+						ei++
+						continue
+					}
+					var pred float64
+					if mode == modeLorenzo {
+						var a, b, d float64
+						if gr > 0 {
+							a = float64(up[c])
+						}
+						if c > 0 {
+							b = float64(rec[c-1])
+							if gr > 0 {
+								d = float64(up[c-1])
+							}
+						} else if c0 > 0 {
+							b = float64(recon[base-1])
+							if gr > 0 {
+								d = float64(recon[base-cols-1])
+							}
+						}
+						pred = a + b - d
+					} else {
+						pred = rowPred + b2*float64(c)
+					}
+					rec[c] = float32(pred + q.Decode(sym))
+				}
+			}
+		}
+	}
+	if ei != len(exact) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -104,8 +104,9 @@ func regressionCoeffs(g *grid.Grid, r0, c0, rows, cols int) (b0, b1, b2 float64)
 	n := float64(rows * cols)
 	var sr, sc, sv, srv, scv float64
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			v := g.At(r0+r, c0+c)
+		base := (r0+r)*g.Cols + c0
+		row := g.Data[base : base+cols]
+		for c, v := range row {
 			sr += float64(r)
 			sc += float64(c)
 			sv += v
@@ -158,24 +159,38 @@ func lorenzoPredict(recon *grid.Grid, r, c int) float64 {
 
 // estimateBlockErrors scores both predictors on original data (SZ
 // samples; we evaluate exactly) so the cheaper mode wins per block.
+// The sweep walks row slices of the grid (current row, row above)
+// instead of per-element At calls, so the inner loop is two streaming
+// reads with the bounds checks hoisted to the slice headers.
 func estimateBlockErrors(g *grid.Grid, r0, c0, rows, cols int, b0, b1, b2 float64) (lorenzo, regression float64) {
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			gr, gc := r0+r, c0+c
-			v := g.At(gr, gc)
+		gr := r0 + r
+		base := gr*g.Cols + c0
+		cur := g.Data[base : base+cols]
+		var up []float64
+		if gr > 0 {
+			up = g.Data[base-g.Cols : base-g.Cols+cols]
+		}
+		rowPred := b0 + b1*float64(r)
+		for c, v := range cur {
 			var a, b, d float64
 			if gr > 0 {
-				a = g.At(gr-1, gc)
+				a = up[c]
 			}
-			if gc > 0 {
-				b = g.At(gr, gc-1)
-			}
-			if gr > 0 && gc > 0 {
-				d = g.At(gr-1, gc-1)
+			if c > 0 {
+				b = cur[c-1]
+				if gr > 0 {
+					d = up[c-1]
+				}
+			} else if c0 > 0 {
+				b = g.Data[base-1]
+				if gr > 0 {
+					d = g.Data[base-g.Cols-1]
+				}
 			}
 			le := v - (a + b - d)
 			lorenzo += le * le
-			re := v - (b0 + b1*float64(r) + b2*float64(c))
+			re := v - (rowPred + b2*float64(c))
 			regression += re * re
 		}
 	}
@@ -231,25 +246,60 @@ func (cc Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 			if mode == modeRegression {
 				coeffs = append(coeffs, float32(b0), float32(b1), float32(b2))
 			}
+			// Row-sliced quantize kernel: one streaming pass per block
+			// row over the source and reconstruction rows, specialized
+			// per predictor so the inner loops carry no mode branch.
 			for r := 0; r < rows; r++ {
-				for c := 0; c < cols; c++ {
-					gr, gc := r0+r, c0+c
-					v := g.At(gr, gc)
-					var pred float64
-					if mode == modeLorenzo {
-						pred = lorenzoPredict(recon, gr, gc)
-					} else {
-						pred = b0 + b1*float64(r) + b2*float64(c)
+				gr := r0 + r
+				base := gr*g.Cols + c0
+				src := g.Data[base : base+cols]
+				rec := recon.Data[base : base+cols]
+				if mode == modeRegression {
+					rowPred := b0 + b1*float64(r)
+					for c, v := range src {
+						pred := rowPred + b2*float64(c)
+						sym, delta, ok := q.Encode(v - pred)
+						if !ok {
+							symbols = append(symbols, quant.Escape)
+							exact = append(exact, v)
+							rec[c] = v
+							continue
+						}
+						symbols = append(symbols, sym)
+						rec[c] = pred + delta
 					}
+					continue
+				}
+				var up []float64
+				if gr > 0 {
+					up = recon.Data[base-g.Cols : base-g.Cols+cols]
+				}
+				for c, v := range src {
+					var a, b, d float64
+					if gr > 0 {
+						a = up[c]
+					}
+					if c > 0 {
+						b = rec[c-1]
+						if gr > 0 {
+							d = up[c-1]
+						}
+					} else if c0 > 0 {
+						b = recon.Data[base-1]
+						if gr > 0 {
+							d = recon.Data[base-g.Cols-1]
+						}
+					}
+					pred := a + b - d
 					sym, delta, ok := q.Encode(v - pred)
 					if !ok {
 						symbols = append(symbols, quant.Escape)
 						exact = append(exact, v)
-						recon.Set(gr, gc, v)
+						rec[c] = v
 						continue
 					}
 					symbols = append(symbols, sym)
-					recon.Set(gr, gc, pred+delta)
+					rec[c] = pred + delta
 				}
 			}
 		}
@@ -365,26 +415,59 @@ func (Compressor) Decompress(data []byte) (*grid.Grid, error) {
 				b0, b1, b2 = coeffs[ci], coeffs[ci+1], coeffs[ci+2]
 				ci += 3
 			}
+			// Mirror of Compress's row-sliced kernel: same slices, same
+			// predictor arithmetic, so reconstruction tracks the
+			// compressor's mirror exactly.
 			for r := 0; r < brows; r++ {
-				for c := 0; c < bcols; c++ {
-					gr, gc := r0+r, c0+c
-					sym := symbols[si]
-					si++
+				gr := r0 + r
+				base := gr*cols + c0
+				rec := recon.Data[base : base+bcols]
+				syms := symbols[si : si+bcols]
+				si += bcols
+				if mode == modeRegression {
+					rowPred := b0 + b1*float64(r)
+					for c, sym := range syms {
+						if sym == quant.Escape {
+							if ei >= len(exact) {
+								return nil, ErrCorrupt
+							}
+							rec[c] = exact[ei]
+							ei++
+							continue
+						}
+						rec[c] = rowPred + b2*float64(c) + q.Decode(sym)
+					}
+					continue
+				}
+				var up []float64
+				if gr > 0 {
+					up = recon.Data[base-cols : base-cols+bcols]
+				}
+				for c, sym := range syms {
 					if sym == quant.Escape {
 						if ei >= len(exact) {
 							return nil, ErrCorrupt
 						}
-						recon.Set(gr, gc, exact[ei])
+						rec[c] = exact[ei]
 						ei++
 						continue
 					}
-					var pred float64
-					if mode == modeLorenzo {
-						pred = lorenzoPredict(recon, gr, gc)
-					} else {
-						pred = b0 + b1*float64(r) + b2*float64(c)
+					var a, b, d float64
+					if gr > 0 {
+						a = up[c]
 					}
-					recon.Set(gr, gc, pred+q.Decode(sym))
+					if c > 0 {
+						b = rec[c-1]
+						if gr > 0 {
+							d = up[c-1]
+						}
+					} else if c0 > 0 {
+						b = recon.Data[base-1]
+						if gr > 0 {
+							d = recon.Data[base-cols-1]
+						}
+					}
+					rec[c] = a + b - d + q.Decode(sym)
 				}
 			}
 		}

@@ -1,0 +1,255 @@
+package variogram
+
+// Float32-lane FFT exact engine. Same transform identities as
+// fftscan.go, restructured around what a dense rectangular domain
+// makes closed-form — so the lane runs ONE forward and ONE inverse
+// transform where the float64 engine runs three and two:
+//
+//  1. The field mean (computed in float64) is subtracted at embed
+//     time. S(h) = Σ (z(x) − z(x+h))² is exactly shift-invariant, and
+//     centering shrinks the |Z|² plane magnitudes by the squared
+//     mean — which is where float32 cancellation error would
+//     otherwise concentrate on fields with a large DC component.
+//  2. Pair counts are not read from a mask autocorrelation plane. For
+//     a dense rectangular domain they have the closed form
+//     N(h) = Π_k (dim_k − |h_k|), which is what the direct scan
+//     counts — exactly. (A float32 c_mm plane at Miranda scale
+//     carries ~1e-6 relative error on counts of ~1e6, i.e. ±1 pair
+//     after rounding; the closed form removes that hazard entirely.)
+//  3. The z²·m cross-correlation is not transformed either. On a
+//     dense domain c_wm(h) = Σ_{x∈B∩(B−h)} z²(x) is a box sum of
+//     centered z² over a clipped rectangle, which a float64
+//     summed-area table answers exactly in 2^d corner reads per lag.
+//     That removes the z²·m forward, the mask forward, AND the c_wm
+//     inverse — the three transforms that made the float32 lane run
+//     at float64 parity — and upgrades the z² term from float32
+//     transform roundoff to float64 prefix-sum accuracy.
+//
+// What remains on the FFT side is the autocorrelation pair:
+// forward(z centered) → |Z|² → inverse, over one float32 staging
+// plane (reused as the c_zz output) and one complex64 half-spectrum.
+// Peak transform bytes are the two planes plus the (unpadded) float64
+// SAT — the fftPeakMB gauges in BENCH_pr7.json record the lane pair.
+// Per-bin folds accumulate in float64 in canonical offset order, so
+// results are bit-identical at any worker count.
+
+import (
+	"context"
+	"fmt"
+
+	"lossycorr/internal/fft"
+	"lossycorr/internal/field"
+	"lossycorr/internal/parallel"
+)
+
+func fftScanField32(ctx context.Context, f *field.Field32, o Options) (*Empirical, error) {
+	stage := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	dims := f.Shape
+	nd := len(dims)
+	if nd < 1 {
+		return nil, fmt.Errorf("variogram: rank-0 field")
+	}
+	nb := o.MaxLag
+	pad := make([]int, nd)
+	total := 1
+	for k, d := range dims {
+		pad[k] = padLenFn(d + nb)
+		if pad[k] < d+nb {
+			return nil, fmt.Errorf("variogram: padded extent %d < %d", pad[k], d+nb)
+		}
+		total *= pad[k]
+	}
+	half := fft.HalfLen(pad)
+	mean := f.Summary().Mean
+
+	// Summed-area table of centered z², extents dims[k]+1 with zero
+	// borders at index 0 — the closed form for every c_wm box sum.
+	satDims := make([]int, nd)
+	satStride := make([]int, nd)
+	satTotal := 1
+	for k := nd - 1; k >= 0; k-- {
+		satDims[k] = dims[k] + 1
+		satStride[k] = satTotal
+		satTotal *= satDims[k]
+	}
+	sat := fft.AcquireReal(satTotal)
+	defer fft.ReleaseReal(sat)
+	buildCenteredSqSAT(f, mean, sat, satDims, satStride)
+	if err := stage(); err != nil {
+		return nil, err
+	}
+
+	// r is the one real staging plane: padded centered z in, the c_zz
+	// autocorrelation out.
+	r := fft.AcquireReal32(total)
+	defer fft.ReleaseReal32(r)
+	for i := range r {
+		r[i] = 0
+	}
+	if err := fft.ForEachEmbeddedRow(dims, pad, func(srcOff, dstOff, n int) {
+		src := f.Data[srcOff : srcOff+n]
+		dst := r[dstOff : dstOff+n]
+		for i, v := range src {
+			dst[i] = float32(float64(v) - mean)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := stage(); err != nil {
+		return nil, err
+	}
+	spZ := fft.AcquireComplex64(half)
+	defer func() { fft.ReleaseComplex64(spZ) }()
+	if err := fft.ForwardRealND32(r, pad, spZ, o.Workers); err != nil {
+		return nil, err
+	}
+	fft.AbsSq32(spZ)
+	if err := stage(); err != nil {
+		return nil, err
+	}
+	czz := r // the padded field is spent; the autocorrelation lands in place
+	if err := fft.InverseRealND32(spZ, pad, czz, o.Workers); err != nil {
+		return nil, err
+	}
+	fft.ReleaseComplex64(spZ)
+	spZ = nil
+
+	// Fold per-offset correlations into distance bins, in the same
+	// canonical order as the direct scan, accumulating in float64.
+	pStride := make([]int, nd)
+	acc := 1
+	for k := nd - 1; k >= 0; k-- {
+		pStride[k] = acc
+		acc *= pad[k]
+	}
+	bins := offsetsByBinCached(nd, nb)
+	sum := make([]float64, nb+1)
+	cnt := make([]int64, nb+1)
+	if err := parallel.ForCtx(ctx, nb+1, o.Workers, func(b int) {
+		offs := bins[b]
+		lo1 := make([]int, nd)
+		hi1 := make([]int, nd)
+		lo2 := make([]int, nd)
+		hi2 := make([]int, nd)
+		var s float64
+		var c int64
+		for p := 0; p < len(offs); p += nd {
+			idx := 0
+			n := int64(1)
+			for k := 0; k < nd; k++ {
+				h := int(offs[p+k])
+				a := h
+				if a < 0 {
+					a = -a
+				}
+				if a >= dims[k] {
+					n = 0
+					break
+				}
+				n *= int64(dims[k] - a)
+				// Axis ranges of the two overlap boxes: B∩(B−h) for
+				// the c_wm(h) term, B∩(B+h) for c_wm(−h).
+				if h >= 0 {
+					idx += h * pStride[k]
+					lo1[k], hi1[k] = 0, dims[k]-h
+					lo2[k], hi2[k] = h, dims[k]
+				} else {
+					idx += (pad[k] + h) * pStride[k]
+					lo1[k], hi1[k] = a, dims[k]
+					lo2[k], hi2[k] = 0, dims[k]-a
+				}
+			}
+			if n <= 0 {
+				continue
+			}
+			wm := boxSum64(sat, satStride, lo1, hi1) + boxSum64(sat, satStride, lo2, hi2)
+			d := wm - 2*float64(czz[idx])
+			if d < 0 { // roundoff on (near-)constant fields
+				d = 0
+			}
+			s += d
+			c += n
+		}
+		sum[b], cnt[b] = s, c
+	}); err != nil {
+		return nil, err
+	}
+	return collect(sum, cnt), nil
+}
+
+// buildCenteredSqSAT fills sat (extents satDims[k] = dims[k]+1, with
+// zero borders at index 0 on every axis) with the inclusive prefix
+// sums of (z−mean)². Every element is written — pooled buffers carry
+// unspecified contents — and the axis passes run over contiguous
+// blocks, so the build is d linear sweeps.
+func buildCenteredSqSAT(f *field.Field32, mean float64, sat []float64, satDims, satStride []int) {
+	for i := range sat {
+		sat[i] = 0
+	}
+	nd := len(satDims)
+	dims := f.Shape
+	rowLen := dims[nd-1]
+	idx := make([]int, nd)
+	src := 0
+	for {
+		dst := satStride[nd-1]
+		for k := 0; k < nd-1; k++ {
+			dst += (idx[k] + 1) * satStride[k]
+		}
+		row := f.Data[src : src+rowLen]
+		for i, v := range row {
+			d := float64(v) - mean
+			sat[dst+i] = d * d
+		}
+		src += rowLen
+		k := nd - 2
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < dims[k] {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	for k := nd - 1; k >= 0; k-- {
+		stride := satStride[k]
+		block := stride * satDims[k]
+		for base := 0; base < len(sat); base += block {
+			for j := stride; j < block; j++ {
+				sat[base+j] += sat[base+j-stride]
+			}
+		}
+	}
+}
+
+// boxSum64 evaluates the box sum over [lo, hi) per axis by
+// inclusion–exclusion on the 2^d SAT corners.
+func boxSum64(sat []float64, stride, lo, hi []int) float64 {
+	nd := len(stride)
+	var s float64
+	for mask := 0; mask < 1<<uint(nd); mask++ {
+		off, bits := 0, 0
+		for k := 0; k < nd; k++ {
+			if mask>>uint(k)&1 != 0 {
+				off += lo[k] * stride[k]
+				bits++
+			} else {
+				off += hi[k] * stride[k]
+			}
+		}
+		if bits&1 != 0 {
+			s -= sat[off]
+		} else {
+			s += sat[off]
+		}
+	}
+	return s
+}

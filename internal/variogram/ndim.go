@@ -185,8 +185,11 @@ func newScanScratch(nd int) *scanScratch {
 // which both ends are in bounds, continuing the running accumulation
 // chain passed in. Base points are visited in row-major order, which
 // together with the canonical offset order reproduces the legacy
-// accumulation chains exactly.
-func scanOffset(data []float64, dims, strides []int, off []int32, sc *scanScratch, sum *float64, cnt *int64) {
+// accumulation chains exactly. The accumulation is float64 for either
+// element lane — the float64 instantiation is bit-identical to the
+// historical concrete scan, and the float32 lane widens each sample
+// (exactly) before differencing.
+func scanOffset[T field.Elem](data []T, dims, strides []int, off []int32, sc *scanScratch, sum *float64, cnt *int64) {
 	nd := len(dims)
 	delta := 0
 	lo := sc.lo[:nd]
@@ -213,7 +216,7 @@ func scanOffset(data []float64, dims, strides []int, off []int32, sc *scanScratc
 			base += cur[k] * strides[k]
 		}
 		for i := base; i < base+innerHi-innerLo; i++ {
-			d := data[i] - data[i+delta]
+			d := float64(data[i]) - float64(data[i+delta])
 			s += d * d
 		}
 		c += innerLen
@@ -239,13 +242,24 @@ func scanOffset(data []float64, dims, strides []int, off []int32, sc *scanScratc
 // independent of the worker count — and bitwise equal to the legacy
 // serial 2D/3D scans.
 func exactScanField(ctx context.Context, f *field.Field, o Options) (*Empirical, error) {
+	return exactScanData(ctx, f.Data, f.Shape, o)
+}
+
+// exactScanData is the element-generic core of the exact scan, shared
+// by both compute lanes.
+func exactScanData[T field.Elem](ctx context.Context, data []T, shape []int, o Options) (*Empirical, error) {
 	nb := o.MaxLag
-	bins := offsetsByBinCached(f.NDim(), nb)
+	nd := len(shape)
+	bins := offsetsByBinCached(nd, nb)
 	sum := make([]float64, nb+1)
 	cnt := make([]int64, nb+1)
-	dims := f.Shape
-	strides := f.Strides()
-	nd := f.NDim()
+	dims := shape
+	strides := make([]int, nd)
+	acc := 1
+	for k := nd - 1; k >= 0; k-- {
+		strides[k] = acc
+		acc *= shape[k]
+	}
 	// Cancellation is observed per offset: one scanOffset sweeps the
 	// whole array once, so a dead context stops the scan within a single
 	// array pass even when a bin holds thousands of offsets.
@@ -269,7 +283,7 @@ func exactScanField(ctx context.Context, f *field.Field, o Options) (*Empirical,
 				default:
 				}
 			}
-			scanOffset(f.Data, dims, strides, offs[p:p+nd], sc, &s, &c)
+			scanOffset(data, dims, strides, offs[p:p+nd], sc, &s, &c)
 		}
 		sum[b], cnt[b] = s, c
 	}); err != nil {
@@ -283,18 +297,31 @@ func exactScanField(ctx context.Context, f *field.Field, o Options) (*Empirical,
 // components, then offset components, slowest dimension first) matches
 // the legacy 2D and 3D samplers, so seeded results are unchanged.
 func sampledScanField(ctx context.Context, f *field.Field, o Options) (*Empirical, error) {
+	return sampledScanData(ctx, f.Data, f.Shape, o)
+}
+
+// sampledScanData is the element-generic core of the pair sampler,
+// shared by both compute lanes; draw order and seeding are lane-
+// independent, so the float32 lane samples exactly the pairs the
+// oracle lane would.
+func sampledScanData[T field.Elem](ctx context.Context, data []T, shape []int, o Options) (*Empirical, error) {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
-	rng := xrand.New(o.Seed ^ sampleSalt(f.NDim()))
+	nd := len(shape)
+	rng := xrand.New(o.Seed ^ sampleSalt(nd))
 	nb := o.MaxLag
 	sum := make([]float64, nb+1)
 	cnt := make([]int64, nb+1)
 	maxSq := o.MaxLag * o.MaxLag
-	dims := f.Shape
-	strides := f.Strides()
-	nd := f.NDim()
+	dims := shape
+	strides := make([]int, nd)
+	acc := 1
+	for k := nd - 1; k >= 0; k-- {
+		strides[k] = acc
+		acc *= shape[k]
+	}
 	pos := make([]int, nd)
 	off := make([]int, nd)
 	for p := 0; p < o.MaxPairs; p++ {
@@ -337,7 +364,7 @@ func sampledScanField(ctx context.Context, f *field.Field, o Options) (*Empirica
 			i += pos[k] * strides[k]
 			j += (pos[k] + off[k]) * strides[k]
 		}
-		d := f.Data[i] - f.Data[j]
+		d := float64(data[i]) - float64(data[j])
 		sum[bin] += d * d
 		cnt[bin]++
 	}

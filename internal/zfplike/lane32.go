@@ -1,0 +1,271 @@
+package zfplike
+
+// Native float32 lane of the ZFP-like codec. Blocks are gathered
+// straight from float32 samples (widened exactly into the fixed-point
+// transform, which is unchanged), raw escapes store 4-byte floats, and
+// reconstruction narrows to float32 at scatter time — no float64
+// staging copy of the field on either side.
+//
+// Bound argument for the narrow lane: every original sample v is a
+// float32, so rounding the float64 reconstruction x̂ to the nearest
+// float32 satisfies |f32(x̂) − v| ≤ 2·|x̂ − v| (v itself is a rounding
+// candidate). The coded path therefore runs the float64 machinery at
+// tolerance absErr/2 — one extra bit plane — and the raw-block
+// threshold doubles accordingly, pinning max|f32(x̂) − v| ≤ absErr
+// with no per-element check.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lossycorr/internal/bitstream"
+	"lossycorr/internal/compress"
+	"lossycorr/internal/field"
+	"lossycorr/internal/lossless"
+)
+
+var magic32 = [4]byte{'Z', 'F', 'L', 'f'}
+
+var _ compress.Lane32Grid = Compressor{}
+
+// gatherBlock32 widens a 4×4 float32 block with edge replication;
+// interior blocks take the four-row streaming path.
+func gatherBlock32(data []float32, rows, cols, r0, c0 int, vals *[16]float64) {
+	if r0+BlockSize <= rows && c0+BlockSize <= cols {
+		for r := 0; r < BlockSize; r++ {
+			base := (r0+r)*cols + c0
+			row := data[base : base+4]
+			vals[4*r] = float64(row[0])
+			vals[4*r+1] = float64(row[1])
+			vals[4*r+2] = float64(row[2])
+			vals[4*r+3] = float64(row[3])
+		}
+		return
+	}
+	for r := 0; r < BlockSize; r++ {
+		gr := r0 + r
+		if gr >= rows {
+			gr = rows - 1
+		}
+		for c := 0; c < BlockSize; c++ {
+			gc := c0 + c
+			if gc >= cols {
+				gc = cols - 1
+			}
+			vals[4*r+c] = float64(data[gr*cols+gc])
+		}
+	}
+}
+
+// scatterBlock32 narrows the in-range portion of a block to float32.
+func scatterBlock32(data []float32, rows, cols, r0, c0 int, vals *[16]float64) {
+	for r := 0; r < BlockSize; r++ {
+		gr := r0 + r
+		if gr >= rows {
+			break
+		}
+		base := gr*cols + c0
+		for c := 0; c < BlockSize; c++ {
+			if c0+c >= cols {
+				break
+			}
+			data[base+c] = float32(vals[4*r+c])
+		}
+	}
+}
+
+// Compress32 implements compress.Lane32Grid.
+func (Compressor) Compress32(f *field.Field32, absErr float64) ([]byte, error) {
+	if absErr <= 0 {
+		return nil, fmt.Errorf("zfplike: non-positive error bound %v", absErr)
+	}
+	if len(f.Shape) != 2 {
+		return nil, fmt.Errorf("zfplike: float32 lane needs rank 2, got %d", len(f.Shape))
+	}
+	gRows, gCols := f.Shape[0], f.Shape[1]
+	if f.Len() == 0 {
+		return nil, errors.New("zfplike: empty field")
+	}
+	nbr := (gRows + BlockSize - 1) / BlockSize
+	nbc := (gCols + BlockSize - 1) / BlockSize
+
+	var head []byte
+	head = append(head, magic32[:]...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(gRows))
+	binary.LittleEndian.PutUint32(tmp[4:], uint32(gCols))
+	head = append(head, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(absErr))
+	head = append(head, tmp[:]...)
+
+	sc := scratchPool.Get().(*compressScratch)
+	defer scratchPool.Put(sc)
+	modes := sc.modes[:0]
+	meta := sc.meta[:0]
+	rawVals := sc.rawVals[:0]
+	w := sc.w
+	w.Reset()
+
+	var vals [16]float64
+	var q [16]int64
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			gatherBlock32(f.Data, gRows, gCols, br*BlockSize, bc*BlockSize, &vals)
+			emax, zero := blockExponent(&vals)
+			if zero {
+				modes = append(modes, blockZero)
+				continue
+			}
+			// Coded blocks run at half the tolerance (see the lane bound
+			// argument above), so the fixed-point floor doubles too.
+			fpErr := math.Ldexp(1, emax-fixedPointBits+5)
+			if absErr < fpErr || !blockFinite(&vals) {
+				modes = append(modes, blockRaw)
+				for _, v := range vals {
+					binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(float32(v)))
+					rawVals = append(rawVals, tmp[:4]...)
+				}
+				continue
+			}
+			scale := math.Ldexp(1, fixedPointBits-emax)
+			for i, v := range vals {
+				q[i] = int64(math.Round(v * scale))
+			}
+			forwardBlock(&q)
+			var zz [16]uint64
+			top := 0
+			for i, v := range q {
+				zz[i] = toNegabinary(v)
+				if b := bits.Len64(zz[i]); b > top {
+					top = b
+				}
+			}
+			cutoff := planeCutoff(0.5*absErr, emax)
+			if cutoff > top {
+				cutoff = top
+			}
+			modes = append(modes, blockCoded)
+			binary.LittleEndian.PutUint16(tmp[:2], uint16(int16(emax)))
+			meta = append(meta, tmp[0], tmp[1], byte(top), byte(cutoff))
+			for plane := top - 1; plane >= cutoff; plane-- {
+				var pb uint64
+				for i := 0; i < 16; i++ {
+					pb = pb<<1 | (zz[i]>>uint(plane))&1
+				}
+				w.WriteBits(pb, 16)
+			}
+		}
+	}
+
+	sc.modes, sc.meta, sc.rawVals = modes, meta, rawVals
+	payload := head
+	payload = append(payload, modes...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(meta)))
+	payload = append(payload, tmp[:4]...)
+	payload = append(payload, meta...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rawVals)))
+	payload = append(payload, tmp[:4]...)
+	payload = append(payload, rawVals...)
+	payload = append(payload, w.Bytes()...)
+	return lossless.Compress(payload)
+}
+
+// Decompress32 implements compress.Lane32Grid.
+func (Compressor) Decompress32(data []byte) (*field.Field32, error) {
+	raw, err := lossless.Decompress(data)
+	if err != nil {
+		return nil, fmt.Errorf("zfplike: %w", err)
+	}
+	if len(raw) < 20 || raw[0] != magic32[0] || raw[1] != magic32[1] || raw[2] != magic32[2] || raw[3] != magic32[3] {
+		return nil, ErrCorrupt
+	}
+	rows := int(binary.LittleEndian.Uint32(raw[4:]))
+	cols := int(binary.LittleEndian.Uint32(raw[8:]))
+	if rows <= 0 || cols <= 0 || rows*cols > 1<<30 {
+		return nil, ErrCorrupt
+	}
+	pos := 20
+	nbr := (rows + BlockSize - 1) / BlockSize
+	nbc := (cols + BlockSize - 1) / BlockSize
+	nBlocks := nbr * nbc
+	if len(raw) < pos+nBlocks+4 {
+		return nil, ErrCorrupt
+	}
+	modes := raw[pos : pos+nBlocks]
+	pos += nBlocks
+	metaLen := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if metaLen < 0 || len(raw) < pos+metaLen+4 {
+		return nil, ErrCorrupt
+	}
+	meta := raw[pos : pos+metaLen]
+	pos += metaLen
+	rawLen := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if rawLen < 0 || len(raw) < pos+rawLen {
+		return nil, ErrCorrupt
+	}
+	rawVals := raw[pos : pos+rawLen]
+	pos += rawLen
+	r := bitstream.NewReader(raw[pos:])
+
+	out := field.New32(rows, cols)
+	mi, ri := 0, 0
+	var q [16]int64
+	var vals [16]float64
+	for br := 0; br < nbr; br++ {
+		for bc := 0; bc < nbc; bc++ {
+			mode := modes[br*nbc+bc]
+			switch mode {
+			case blockZero:
+				for i := range vals {
+					vals[i] = 0
+				}
+			case blockRaw:
+				if ri+64 > len(rawVals) {
+					return nil, ErrCorrupt
+				}
+				for i := 0; i < 16; i++ {
+					vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(rawVals[ri:])))
+					ri += 4
+				}
+			case blockCoded:
+				if mi+4 > len(meta) {
+					return nil, ErrCorrupt
+				}
+				emax := int(int16(binary.LittleEndian.Uint16(meta[mi:])))
+				top := int(meta[mi+2])
+				cutoff := int(meta[mi+3])
+				mi += 4
+				if top > 64 || cutoff > top {
+					return nil, ErrCorrupt
+				}
+				var zz [16]uint64
+				for plane := top - 1; plane >= cutoff; plane-- {
+					pb, err := r.ReadBits(16)
+					if err != nil {
+						return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
+					}
+					for i := 0; i < 16; i++ {
+						zz[i] |= (pb >> uint(15-i) & 1) << uint(plane)
+					}
+				}
+				for i := range q {
+					q[i] = fromNegabinary(zz[i])
+				}
+				inverseBlock(&q)
+				scale := math.Ldexp(1, emax-fixedPointBits)
+				for i := range vals {
+					vals[i] = float64(q[i]) * scale
+				}
+			default:
+				return nil, ErrCorrupt
+			}
+			scatterBlock32(out.Data, rows, cols, br*BlockSize, bc*BlockSize, &vals)
+		}
+	}
+	return out, nil
+}

@@ -244,11 +244,16 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 			modes = append(modes, blockCoded)
 			binary.LittleEndian.PutUint16(tmp[:2], uint16(int16(emax)))
 			meta = append(meta, tmp[0], tmp[1], byte(top), byte(cutoff))
-			// transposed bit planes, MSB first
+			// Transposed bit planes, MSB first: each 16-coefficient
+			// plane is gathered into one uint16 (coefficient 0 at the
+			// high bit, preserving the bit order of per-bit writes) and
+			// emitted with a single batched write.
 			for plane := top - 1; plane >= cutoff; plane-- {
+				var pb uint64
 				for i := 0; i < 16; i++ {
-					w.WriteBit(uint(zz[i]>>uint(plane)) & 1)
+					pb = pb<<1 | (zz[i]>>uint(plane))&1
 				}
+				w.WriteBits(pb, 16)
 			}
 		}
 	}
@@ -268,8 +273,17 @@ func (Compressor) Compress(g *grid.Grid, absErr float64) ([]byte, error) {
 
 // gatherBlock copies a 4×4 block with edge replication for clipped
 // blocks; replicated samples are real samples, so their reconstruction
-// error is bounded too.
+// error is bounded too. Interior blocks (the vast majority) take a
+// four-row streaming copy; only clipped edge blocks pay the
+// per-element replication arithmetic.
 func gatherBlock(g *grid.Grid, r0, c0 int, vals *[16]float64) {
+	if r0+BlockSize <= g.Rows && c0+BlockSize <= g.Cols {
+		for r := 0; r < BlockSize; r++ {
+			base := (r0+r)*g.Cols + c0
+			copy(vals[4*r:4*r+4], g.Data[base:base+4])
+		}
+		return
+	}
 	for r := 0; r < BlockSize; r++ {
 		gr := r0 + r
 		if gr >= g.Rows {
@@ -360,12 +374,12 @@ func (Compressor) Decompress(data []byte) (*grid.Grid, error) {
 				}
 				var zz [16]uint64
 				for plane := top - 1; plane >= cutoff; plane-- {
+					pb, err := r.ReadBits(16)
+					if err != nil {
+						return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
+					}
 					for i := 0; i < 16; i++ {
-						b, err := r.ReadBit()
-						if err != nil {
-							return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
-						}
-						zz[i] |= uint64(b) << uint(plane)
+						zz[i] |= (pb >> uint(15-i) & 1) << uint(plane)
 					}
 				}
 				for i := range q {
@@ -385,8 +399,16 @@ func (Compressor) Decompress(data []byte) (*grid.Grid, error) {
 	return out, nil
 }
 
-// scatterBlock writes the in-range portion of a block.
+// scatterBlock writes the in-range portion of a block; interior blocks
+// stream out four row copies.
 func scatterBlock(g *grid.Grid, r0, c0 int, vals *[16]float64) {
+	if r0+BlockSize <= g.Rows && c0+BlockSize <= g.Cols {
+		for r := 0; r < BlockSize; r++ {
+			base := (r0+r)*g.Cols + c0
+			copy(g.Data[base:base+4], vals[4*r:4*r+4])
+		}
+		return
+	}
 	for r := 0; r < BlockSize; r++ {
 		gr := r0 + r
 		if gr >= g.Rows {

@@ -110,8 +110,18 @@ func blockFinite64(vals *[64]float64) bool {
 	return true
 }
 
-// gatherBlock3D copies a 4×4×4 block with edge replication.
+// gatherBlock3D copies a 4×4×4 block with edge replication; interior
+// blocks stream sixteen 4-wide row copies.
 func gatherBlock3D(v *grid.Volume, z0, y0, x0 int, vals *[64]float64) {
+	if z0+BlockSize <= v.Nz && y0+BlockSize <= v.Ny && x0+BlockSize <= v.Nx {
+		for z := 0; z < BlockSize; z++ {
+			for y := 0; y < BlockSize; y++ {
+				base := ((z0+z)*v.Ny+y0+y)*v.Nx + x0
+				copy(vals[(z*4+y)*4:(z*4+y)*4+4], v.Data[base:base+4])
+			}
+		}
+		return
+	}
 	for z := 0; z < BlockSize; z++ {
 		gz := z0 + z
 		if gz >= v.Nz {
@@ -133,8 +143,18 @@ func gatherBlock3D(v *grid.Volume, z0, y0, x0 int, vals *[64]float64) {
 	}
 }
 
-// scatterBlock3D writes the in-range portion of a block.
+// scatterBlock3D writes the in-range portion of a block; interior
+// blocks stream sixteen 4-wide row copies.
 func scatterBlock3D(v *grid.Volume, z0, y0, x0 int, vals *[64]float64) {
+	if z0+BlockSize <= v.Nz && y0+BlockSize <= v.Ny && x0+BlockSize <= v.Nx {
+		for z := 0; z < BlockSize; z++ {
+			for y := 0; y < BlockSize; y++ {
+				base := ((z0+z)*v.Ny+y0+y)*v.Nx + x0
+				copy(v.Data[base:base+4], vals[(z*4+y)*4:(z*4+y)*4+4])
+			}
+		}
+		return
+	}
 	for z := 0; z < BlockSize; z++ {
 		gz := z0 + z
 		if gz >= v.Nz {
@@ -227,10 +247,14 @@ func (Compressor3D) Compress(v *grid.Volume, absErr float64) ([]byte, error) {
 				modes = append(modes, blockCoded)
 				binary.LittleEndian.PutUint16(tmp[:2], uint16(int16(emax)))
 				meta = append(meta, tmp[0], tmp[1], byte(top), byte(cutoff))
+				// One uint64 per 64-coefficient plane (coefficient 0 at
+				// the high bit), emitted with a single batched write.
 				for plane := top - 1; plane >= cutoff; plane-- {
+					var pb uint64
 					for i := 0; i < 64; i++ {
-						w.WriteBit(uint(zz[i]>>uint(plane)) & 1)
+						pb = pb<<1 | (zz[i]>>uint(plane))&1
 					}
+					w.WriteBits(pb, 64)
 				}
 			}
 		}
@@ -323,12 +347,12 @@ func (Compressor3D) Decompress(data []byte) (*grid.Volume, error) {
 					}
 					var zz [64]uint64
 					for plane := top - 1; plane >= cutoff; plane-- {
+						pb, err := r.ReadBits(64)
+						if err != nil {
+							return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
+						}
 						for i := 0; i < 64; i++ {
-							b, err := r.ReadBit()
-							if err != nil {
-								return nil, fmt.Errorf("zfplike: truncated planes: %w", err)
-							}
-							zz[i] |= uint64(b) << uint(plane)
+							zz[i] |= (pb >> uint(63-i) & 1) << uint(plane)
 						}
 					}
 					for i := range q {
