@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"lossycorr"
@@ -293,7 +294,19 @@ func cmdAnalyze(args []string) error {
 	gram := fs.Bool("gram", true, "Gram-matrix fast path for the local SVD statistic (-gram=false restores the full-SVD reference path)")
 	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan (real-input half-spectrum transforms; ~40% of the former complex-path memory)")
 	f32 := fs.Bool("f32", false, "run the float32 compute lane (a float64 input is narrowed first; float32 files use it automatically)")
+	membudget := fs.String("membudget", "", "out-of-core memory budget with optional k/m/g suffix (e.g. 64m); fields that do not fit are streamed in budget-sized tiles, bit-identical windowed statistics")
 	fs.Parse(args)
+
+	if *membudget != "" {
+		budget, err := parseBytes(*membudget)
+		if err != nil {
+			return fmt.Errorf("-membudget: %w", err)
+		}
+		if *f32 {
+			return fmt.Errorf("-f32 cannot combine with -membudget: an out-of-core field runs on its stored lane")
+		}
+		return analyzeOutOfCore(*in, budget, *window, *workers, *gram, *vfft)
+	}
 
 	fld, n32, err := readFieldAny(*in)
 	if err != nil {
@@ -330,6 +343,69 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
 	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, *window)
 	fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd, *window)
+	return nil
+}
+
+// parseBytes parses a byte count with an optional k/m/g suffix
+// (powers of 1024, case-insensitive).
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, s = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, s = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, s = 1<<30, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("byte count must be positive, got %q", s)
+	}
+	return v * mult, nil
+}
+
+// analyzeOutOfCore runs analyze through the tile-streaming reader under
+// a transform-pool byte budget, reporting the observed peak against it.
+func analyzeOutOfCore(in string, budget int64, window, workers int, gram, vfft bool) error {
+	tr, err := lossycorr.OpenFieldTilesMapped(in, 1<<31)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	gm := lossycorr.SVDGramOn
+	if !gram {
+		gm = lossycorr.SVDGramOff
+	}
+	opts := lossycorr.AnalysisOptions{
+		Window: window, Workers: workers, SVDGram: gm, VariogramFFT: vfft,
+		MemBudget: budget,
+	}
+	lossycorr.ResetTransformPeakBytes()
+	stats, err := lossycorr.AnalyzeReader(tr, opts)
+	if err != nil {
+		return err
+	}
+	peak := lossycorr.TransformPeakBytes()
+	lane := "float64"
+	if tr.Float32Lane() {
+		lane = "float32"
+	}
+	fmt.Printf("field: %s (%s lane, out-of-core)\n", shapeString(tr.Shape()), lane)
+	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
+	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
+	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, window)
+	fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd, window)
+	verdict := "ok"
+	if peak > budget {
+		verdict = "OVER"
+	}
+	fmt.Printf("peak transform bytes: %d (budget %d, %s)\n", peak, budget, verdict)
 	return nil
 }
 

@@ -90,6 +90,17 @@ type AnalysisOptions struct {
 	// 0 means GOMAXPROCS per pool; 1 forces the fully serial path.
 	// Results are bit-identical for every value.
 	Workers int
+	// MemBudget caps the transform-pool bytes of a dataset-backed
+	// analysis (AnalyzeReaderCtx). When the widened field — plus the
+	// spectral engine's padded planes, if VariogramFFT is set — fits the
+	// budget, the file is slurped and analyzed in RAM; otherwise the
+	// analysis streams: windowed statistics run tile-by-tile (results
+	// bit-identical to in-RAM at any tile size and worker count), the
+	// global variogram runs its sampled scan through point access
+	// (bit-identical) or, with VariogramFFT, the sharded spectral engine
+	// (pair counts exact, Gamma tolerance-equivalent). <= 0 means no
+	// budget: always slurp. In-RAM entry points ignore this field.
+	MemBudget int64
 }
 
 func (o AnalysisOptions) withDefaults() AnalysisOptions {

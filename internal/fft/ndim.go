@@ -144,6 +144,77 @@ func AcquireReal(n int) []float64 {
 	return buf
 }
 
+// AcquireRealTight is AcquireReal for budget-critical consumers: a
+// pooled buffer is accepted only when its capacity is at most 2n, so
+// the cap-based accounting of a tight acquisition never exceeds twice
+// the requested bytes (a plain acquire can carry up to ~4× from bucket
+// slack; a miss allocates exactly n either way). The streaming
+// analysis plans its tiles and shards against half the memory budget;
+// together the two factors keep the peak gauge under the budget even
+// on a warm pool. Release with ReleaseReal as usual.
+func AcquireRealTight(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := acquireBucket(n)
+	if v := realPools[b].Get(); v != nil {
+		p := v.(*[]float64)
+		if int64(cap(*p)) <= 2*int64(n) {
+			buf := *p
+			accountAcquire(int64(cap(buf)) * 8)
+			return buf[:n]
+		}
+		realPools[b].Put(p) // too slack for a budgeted consumer; keep it
+	}
+	if b > 0 {
+		if v := realPools[b-1].Get(); v != nil {
+			p := v.(*[]float64)
+			if cap(*p) >= n { // one-below caps are < 2^b <= 2n by construction
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 8)
+				return buf[:n]
+			}
+			realPools[b-1].Put(p)
+		}
+	}
+	buf := make([]float64, n)
+	accountAcquire(int64(cap(buf)) * 8)
+	return buf
+}
+
+// AcquireComplexTight is AcquireRealTight's complex sibling: pooled
+// hits are accepted only under 2n capacity, bounding accounted slack
+// for the budgeted spectral shards. Release with ReleaseComplex.
+func AcquireComplexTight(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	b := acquireBucket(n)
+	if v := complexPools[b].Get(); v != nil {
+		p := v.(*[]complex128)
+		if int64(cap(*p)) <= 2*int64(n) {
+			buf := *p
+			accountAcquire(int64(cap(buf)) * 16)
+			return buf[:n]
+		}
+		complexPools[b].Put(p)
+	}
+	if b > 0 {
+		if v := complexPools[b-1].Get(); v != nil {
+			p := v.(*[]complex128)
+			if cap(*p) >= n {
+				buf := *p
+				accountAcquire(int64(cap(buf)) * 16)
+				return buf[:n]
+			}
+			complexPools[b-1].Put(p)
+		}
+	}
+	buf := make([]complex128, n)
+	accountAcquire(int64(cap(buf)) * 16)
+	return buf
+}
+
 // ReleaseReal returns a buffer obtained from AcquireReal to the pool,
 // under the same any-capacity contract as ReleaseComplex.
 func ReleaseReal(buf []float64) {

@@ -275,3 +275,25 @@ func AbsSq(a []complex128) {
 		a[i] = complex(real(v)*real(v)+imag(v)*imag(v), 0)
 	}
 }
+
+// MulConjScale sets a[i] = s·conj(a[i])·b[i] — a scaled cross-spectrum,
+// hermitian for the same reason MulConj's result is. The sharded
+// streaming variogram uses it to seed its structure-function
+// accumulator with the −2·c_zz term in place.
+func MulConjScale(a, b []complex128, s float64) {
+	cs := complex(s, 0)
+	for i, v := range a {
+		a[i] = cs * complex(real(v), -imag(v)) * b[i]
+	}
+}
+
+// AddMulConjScale accumulates acc[i] += s·conj(a[i])·b[i] without
+// disturbing a or b — the fold step of the sharded streaming variogram,
+// which sums three cross-spectra into one accumulator so only one
+// inverse transform is needed per shard.
+func AddMulConjScale(acc, a, b []complex128, s float64) {
+	cs := complex(s, 0)
+	for i, v := range a {
+		acc[i] += cs * complex(real(v), -imag(v)) * b[i]
+	}
+}

@@ -18,9 +18,22 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"lossycorr/internal/grid"
 )
+
+// stagingPool recycles the fixed 32 KiB byte buffers every payload
+// reader and the tile reader stage their I/O through, so concurrent
+// parses (the service upload path, parallel tile streams) stop
+// allocating a staging slice per call.
+var stagingPool = sync.Pool{New: func() any {
+	b := make([]byte, 8*4096)
+	return &b
+}}
+
+func acquireStaging() *[]byte  { return stagingPool.Get().(*[]byte) }
+func releaseStaging(b *[]byte) { stagingPool.Put(b) }
 
 // Field is a dense scalar field of arbitrary rank. Shape lists the
 // extents slowest-varying first; element (i_0, …, i_{d-1}) lives at
@@ -292,12 +305,22 @@ func ReadBinary(r io.Reader) (*Field, error) {
 // entry point the corrcompd upload path uses, with its budget derived
 // from the configured request-body limit.
 func ReadBinaryLimit(r io.Reader, maxElements int) (*Field, error) {
-	f, f32, err := ReadAnyLimit(r, maxElements)
+	shape, f32, _, err := readHeaderFrom(r, maxElements)
 	if err != nil {
 		return nil, err
 	}
-	if f32 != nil {
-		return f32.Widen(), nil
+	f := New(shape...)
+	if f32 {
+		// Widen during the chunked payload read: only the float64
+		// destination is ever materialized, not a full float32 copy
+		// first — the staging slice is the transient.
+		if err := readPayloadWide(r, f.Data); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if err := readPayload(r, f.Data); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -310,56 +333,67 @@ func ReadBinaryLimit(r io.Reader, maxElements int) (*Field, error) {
 // which widens transparently; lane-aware callers (the service upload
 // path, corrcomp -f32) dispatch on which pointer is set.
 func ReadAnyLimit(r io.Reader, maxElements int) (*Field, *Field32, error) {
-	hdr := make([]byte, 8)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, nil, fmt.Errorf("field: short header: %w", err)
-	}
-	if hdr[0] == magic[0] && hdr[1] == magic[1] && hdr[2] == magic[2] && hdr[3] == magic[3] {
-		word := binary.LittleEndian.Uint32(hdr[4:])
-		f32 := word&f32LaneFlag != 0
-		d := int(word &^ uint32(f32LaneFlag))
-		if d < 1 || d > 8 {
-			return nil, nil, fmt.Errorf("field: unreasonable rank %d", d)
-		}
-		dims := make([]byte, 4*d)
-		if _, err := io.ReadFull(r, dims); err != nil {
-			return nil, nil, fmt.Errorf("field: short shape: %w", err)
-		}
-		shape := make([]int, d)
-		for k := range shape {
-			shape[k] = int(binary.LittleEndian.Uint32(dims[4*k:]))
-		}
-		if _, err := validateShape(shape, maxElements); err != nil {
-			return nil, nil, err
-		}
-		if f32 {
-			f := New32(shape...)
-			if err := readPayload32(r, f.Data); err != nil {
-				return nil, nil, err
-			}
-			return nil, f, nil
-		}
-		f := New(shape...)
-		if err := readPayload(r, f.Data); err != nil {
-			return nil, nil, err
-		}
-		return f, nil, nil
-	}
-	// Legacy 2D layout: the 8 bytes already read are the dimensions.
-	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
-	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
-	if _, err := validateShape([]int{rows, cols}, maxElements); err != nil {
+	shape, f32, _, err := readHeaderFrom(r, maxElements)
+	if err != nil {
 		return nil, nil, err
 	}
-	f := New(rows, cols)
+	if f32 {
+		f := New32(shape...)
+		if err := readPayload32(r, f.Data); err != nil {
+			return nil, nil, err
+		}
+		return nil, f, nil
+	}
+	f := New(shape...)
 	if err := readPayload(r, f.Data); err != nil {
 		return nil, nil, err
 	}
 	return f, nil, nil
 }
 
+// readHeaderFrom consumes and validates one field header from r,
+// returning the decoded shape, whether the payload is the float32 lane,
+// and how many header bytes were consumed (the payload's byte offset
+// for random-access readers). Shapes are fully validated against
+// maxElements before the caller allocates anything.
+func readHeaderFrom(r io.Reader, maxElements int) (shape []int, f32 bool, hdrLen int, err error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, false, 0, fmt.Errorf("field: short header: %w", err)
+	}
+	if hdr[0] == magic[0] && hdr[1] == magic[1] && hdr[2] == magic[2] && hdr[3] == magic[3] {
+		word := binary.LittleEndian.Uint32(hdr[4:])
+		f32 = word&f32LaneFlag != 0
+		d := int(word &^ uint32(f32LaneFlag))
+		if d < 1 || d > 8 {
+			return nil, false, 0, fmt.Errorf("field: unreasonable rank %d", d)
+		}
+		dims := make([]byte, 4*d)
+		if _, err := io.ReadFull(r, dims); err != nil {
+			return nil, false, 0, fmt.Errorf("field: short shape: %w", err)
+		}
+		shape = make([]int, d)
+		for k := range shape {
+			shape[k] = int(binary.LittleEndian.Uint32(dims[4*k:]))
+		}
+		if _, err := validateShape(shape, maxElements); err != nil {
+			return nil, false, 0, err
+		}
+		return shape, f32, 8 + 4*d, nil
+	}
+	// Legacy 2D layout: the 8 bytes already read are the dimensions.
+	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if _, err := validateShape([]int{rows, cols}, maxElements); err != nil {
+		return nil, false, 0, err
+	}
+	return []int{rows, cols}, false, 8, nil
+}
+
 func readPayload(r io.Reader, data []float64) error {
-	buf := make([]byte, 8*4096)
+	bp := acquireStaging()
+	defer releaseStaging(bp)
+	buf := *bp
 	for off := 0; off < len(data); off += 4096 {
 		end := off + 4096
 		if end > len(data) {
@@ -371,6 +405,30 @@ func readPayload(r io.Reader, data []float64) error {
 		}
 		for i := range chunk {
 			chunk[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return nil
+}
+
+// readPayloadWide reads a float32 payload directly into a float64
+// destination, widening chunk by chunk through the pooled staging
+// slice, so reading an f32 file into the oracle lane never holds both
+// full-size lanes at once.
+func readPayloadWide(r io.Reader, data []float64) error {
+	bp := acquireStaging()
+	defer releaseStaging(bp)
+	buf := *bp
+	for off := 0; off < len(data); off += 8192 {
+		end := off + 8192
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		if _, err := io.ReadFull(r, buf[:4*len(chunk)]); err != nil {
+			return fmt.Errorf("field: short body: %w", err)
+		}
+		for i := range chunk {
+			chunk[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
 		}
 	}
 	return nil

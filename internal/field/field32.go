@@ -233,7 +233,9 @@ func ReadBinary32Limit(r io.Reader, maxElements int) (*Field32, error) {
 }
 
 func readPayload32(r io.Reader, data []float32) error {
-	buf := make([]byte, 4*4096)
+	bp := acquireStaging()
+	defer releaseStaging(bp)
+	buf := (*bp)[:4*4096]
 	for off := 0; off < len(data); off += 4096 {
 		end := off + 4096
 		if end > len(data) {

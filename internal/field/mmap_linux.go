@@ -1,0 +1,46 @@
+//go:build linux
+
+package field
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenTileReaderMapped memory-maps path read-only and returns a
+// TileReader over the mapping, letting the page cache serve repeated
+// tile reads without pread syscalls. Close unmaps. Header validation is
+// identical to OpenTileReader — the mapping is sized by the file, so a
+// lying header is rejected before any block buffer exists.
+func OpenTileReaderMapped(path string, maxElements int) (*TileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("field: cannot map %d-byte file %s", size, path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("field: mmap %s: %w", path, err)
+	}
+	t, err := NewTileReader(bytes.NewReader(data), size, maxElements)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, err
+	}
+	t.closer = munmapCloser(data)
+	return t, nil
+}
+
+type munmapCloser []byte
+
+func (m munmapCloser) Close() error { return syscall.Munmap(m) }

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package field
+
+// OpenTileReaderMapped falls back to pread-backed tile access on
+// platforms without the mmap shim; the TileReader contract is
+// unchanged.
+func OpenTileReaderMapped(path string, maxElements int) (*TileReader, error) {
+	return OpenTileReader(path, maxElements)
+}

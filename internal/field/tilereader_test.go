@@ -1,0 +1,338 @@
+package field
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lossycorr/internal/xrand"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "field.lcf")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randField(t *testing.T, shape []int, seed uint64) *Field {
+	t.Helper()
+	rng := xrand.New(seed)
+	f := New(shape...)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+// TestTileReaderReadBlock pins ReadBlock against direct in-RAM
+// extraction for both stored lanes, across ranks and block geometries
+// (interior boxes, full-axis slabs, single elements).
+func TestTileReaderReadBlock(t *testing.T) {
+	for _, shape := range [][]int{{11}, {13, 7}, {7, 9, 5}} {
+		f := randField(t, shape, 42)
+		var buf bytes.Buffer
+		if err := f.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		f32 := New32(shape...)
+		for i, v := range f.Data {
+			f32.Data[i] = float32(v)
+		}
+		var buf32 bytes.Buffer
+		if err := f32.WriteBinary(&buf32); err != nil {
+			t.Fatal(err)
+		}
+		wide := f32.Widen()
+		for name, enc := range map[string]struct {
+			raw  []byte
+			want *Field
+		}{
+			"f64": {buf.Bytes(), f},
+			"f32": {buf32.Bytes(), wide},
+		} {
+			tr, err := NewTileReader(bytes.NewReader(enc.raw), int64(len(enc.raw)), 1<<30)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			d := len(shape)
+			rng := xrand.New(7)
+			dst := new(Field)
+			for trial := 0; trial < 25; trial++ {
+				lo := make([]int, d)
+				hi := make([]int, d)
+				for k := 0; k < d; k++ {
+					lo[k] = rng.Intn(shape[k])
+					hi[k] = lo[k] + 1 + rng.Intn(shape[k]-lo[k])
+				}
+				if err := tr.ReadBlock(dst, lo, hi); err != nil {
+					t.Fatalf("%s block [%v,%v): %v", name, lo, hi, err)
+				}
+				// Direct extraction from the in-RAM (widened) field.
+				idx := make([]int, d)
+				copy(idx, lo)
+				pos := 0
+				for {
+					flat := 0
+					for k := 0; k < d; k++ {
+						flat = flat*shape[k] + idx[k]
+					}
+					if dst.Data[pos] != enc.want.Data[flat] {
+						t.Fatalf("%s block [%v,%v) at %v: %v, want %v",
+							name, lo, hi, idx, dst.Data[pos], enc.want.Data[flat])
+					}
+					pos++
+					k := d - 1
+					for ; k >= 0; k-- {
+						idx[k]++
+						if idx[k] < hi[k] {
+							break
+						}
+						idx[k] = lo[k]
+					}
+					if k < 0 {
+						break
+					}
+				}
+				if pos != dst.Len() {
+					t.Fatalf("%s: visited %d, block holds %d", name, pos, dst.Len())
+				}
+			}
+			// Point access agrees with the widened field everywhere.
+			for i := 0; i < f.Len(); i++ {
+				v, err := tr.At(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != enc.want.Data[i] {
+					t.Fatalf("%s At(%d) = %v, want %v", name, i, v, enc.want.Data[i])
+				}
+			}
+			if _, err := tr.At(-1); err == nil {
+				t.Fatalf("%s: At(-1) succeeded", name)
+			}
+			if _, err := tr.At(f.Len()); err == nil {
+				t.Fatalf("%s: At(len) succeeded", name)
+			}
+			if err := tr.ReadBlock(dst, make([]int, d), append([]int(nil), shape...)); err != nil {
+				t.Fatal(err)
+			}
+			if bad := append([]int(nil), shape...); true {
+				bad[0]++
+				if err := tr.ReadBlock(dst, make([]int, d), bad); err == nil {
+					t.Fatalf("%s: out-of-bounds block succeeded", name)
+				}
+			}
+		}
+	}
+}
+
+// TestTileReaderMappedEquality: the mmap-backed reader returns the same
+// blocks as the pread-backed one.
+func TestTileReaderMappedEquality(t *testing.T) {
+	shape := []int{9, 8, 7}
+	f := randField(t, shape, 77)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, buf.Bytes())
+	a, err := OpenTileReader(path, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenTileReaderMapped(path, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	da, db := new(Field), new(Field)
+	lo, hi := []int{1, 2, 3}, []int{8, 5, 7}
+	if err := a.ReadBlock(da, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadBlock(db, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	for i := range da.Data {
+		if da.Data[i] != db.Data[i] {
+			t.Fatalf("mapped block differs at %d", i)
+		}
+	}
+}
+
+// TestTileReaderHostileHeaders: crafted headers whose claimed payload
+// exceeds the bytes present — or whose shape product overflows — are
+// rejected at open, before any block buffer exists.
+func TestTileReaderHostileHeaders(t *testing.T) {
+	le := binary.LittleEndian
+	cases := map[string][]byte{}
+
+	// LCF1 claiming a 1<<20 × 1<<20 field with 16 payload bytes.
+	var big bytes.Buffer
+	big.WriteString("LCF1")
+	binary.Write(&big, le, uint32(2))
+	binary.Write(&big, le, uint32(1<<20))
+	binary.Write(&big, le, uint32(1<<20))
+	big.Write(make([]byte, 16))
+	cases["lcf1-truncated"] = big.Bytes()
+
+	// LCF1 float32 lane, truncated payload.
+	var f32 bytes.Buffer
+	f32.WriteString("LCF1")
+	binary.Write(&f32, le, uint32(3|0x00010000))
+	binary.Write(&f32, le, uint32(64))
+	binary.Write(&f32, le, uint32(64))
+	binary.Write(&f32, le, uint32(64))
+	f32.Write(make([]byte, 100))
+	cases["lcf1-f32-truncated"] = f32.Bytes()
+
+	// Legacy header claiming 1<<16 × 1<<16 with no payload.
+	var leg bytes.Buffer
+	binary.Write(&leg, le, uint32(1<<16))
+	binary.Write(&leg, le, uint32(1<<16))
+	cases["legacy-truncated"] = leg.Bytes()
+
+	// LCF1 whose extent product overflows the element cap.
+	var cap bytes.Buffer
+	cap.WriteString("LCF1")
+	binary.Write(&cap, le, uint32(4))
+	for i := 0; i < 4; i++ {
+		binary.Write(&cap, le, uint32(1<<16))
+	}
+	cases["cap-exceeded"] = cap.Bytes()
+
+	for name, raw := range cases {
+		if _, err := NewTileReader(bytes.NewReader(raw), int64(len(raw)), 1<<30); err == nil {
+			t.Fatalf("%s: open succeeded", name)
+		}
+	}
+
+	// A lying header must also fail through the file-backed opens.
+	path := writeTemp(t, cases["lcf1-truncated"])
+	if _, err := OpenTileReader(path, 1<<30); err == nil {
+		t.Fatal("OpenTileReader accepted truncated payload")
+	}
+	if _, err := OpenTileReaderMapped(path, 1<<30); err == nil {
+		t.Fatal("OpenTileReaderMapped accepted truncated payload")
+	}
+}
+
+// TestTileReaderReadAll: the slurp path preserves the stored lane.
+func TestTileReaderReadAll(t *testing.T) {
+	f := randField(t, []int{6, 5}, 3)
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTileReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, f32, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64 == nil || f32 != nil {
+		t.Fatal("f64 file did not slurp to the f64 lane")
+	}
+	for i := range f.Data {
+		if f64.Data[i] != f.Data[i] {
+			t.Fatalf("slurp differs at %d", i)
+		}
+	}
+
+	g32 := New32(4, 3)
+	for i := range g32.Data {
+		g32.Data[i] = float32(i) * 0.5
+	}
+	var b32 bytes.Buffer
+	if err := g32.WriteBinary(&b32); err != nil {
+		t.Fatal(err)
+	}
+	tr32, err := NewTileReader(bytes.NewReader(b32.Bytes()), int64(b32.Len()), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr32.Float32Lane() {
+		t.Fatal("f32 file not detected as the f32 lane")
+	}
+	r64, r32, err := tr32.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32 == nil || r64 != nil {
+		t.Fatal("f32 file did not slurp to the f32 lane")
+	}
+	for i := range g32.Data {
+		if r32.Data[i] != g32.Data[i] {
+			t.Fatalf("f32 slurp differs at %d", i)
+		}
+	}
+}
+
+// TestPlanWindowTiles: tiles partition the window lattice exactly, obey
+// the element budget, and a budget below one window errors.
+func TestPlanWindowTiles(t *testing.T) {
+	cases := []struct {
+		shape    []int
+		h        int
+		maxElems int64
+	}{
+		{[]int{37, 29}, 8, 64},
+		{[]int{37, 29}, 8, 8 * 29},
+		{[]int{19, 23, 17}, 5, 5 * 5 * 5},
+		{[]int{19, 23, 17}, 5, 0},
+		{[]int{64, 64}, 16, 1 << 20},
+	}
+	for _, tc := range cases {
+		tiles, err := PlanWindowTiles(tc.shape, tc.h, tc.maxElems)
+		if err != nil {
+			t.Fatalf("%v h=%d budget=%d: %v", tc.shape, tc.h, tc.maxElems, err)
+		}
+		g := NewWindowGrid(tc.shape, tc.h)
+		seen := make([]int, g.Total())
+		for _, tile := range tiles {
+			n := int64(1)
+			for k := range tc.shape {
+				if tile.Lo[k]%tc.h != 0 {
+					t.Fatalf("%v: tile lo %v not h-aligned", tc.shape, tile.Lo)
+				}
+				if tile.Lo[k] < 0 || tile.Hi[k] > tc.shape[k] || tile.Lo[k] >= tile.Hi[k] {
+					t.Fatalf("%v: bad tile [%v,%v)", tc.shape, tile.Lo, tile.Hi)
+				}
+				n *= int64(tile.Hi[k] - tile.Lo[k])
+			}
+			if tc.maxElems > 0 && n > tc.maxElems {
+				t.Fatalf("%v: tile [%v,%v) holds %d elems, budget %d", tc.shape, tile.Lo, tile.Hi, n, tc.maxElems)
+			}
+			tw := g.TileWindows(tile)
+			buf := make([]int, len(tc.shape))
+			for j := 0; j < tw.Len(); j++ {
+				global, _ := tw.Window(j, buf)
+				seen[global]++
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("%v h=%d budget=%d: window %d covered %d times", tc.shape, tc.h, tc.maxElems, i, c)
+			}
+		}
+	}
+	if _, err := PlanWindowTiles([]int{64, 64}, 16, 10); err == nil {
+		t.Fatal("sub-window budget accepted")
+	}
+}
+
+// TestExpandHalo clips at the field boundary.
+func TestExpandHalo(t *testing.T) {
+	lo, hi := ExpandHalo([]int{0, 16}, []int{16, 32}, []int{40, 40}, 8)
+	if lo[0] != 0 || lo[1] != 8 || hi[0] != 24 || hi[1] != 40 {
+		t.Fatalf("halo box [%v,%v)", lo, hi)
+	}
+}

@@ -11,11 +11,13 @@ import (
 )
 
 // cacheKey is the content address of a pipeline result: SHA-256 over
-// the request kind, the canonicalized option string, and the raw field
-// bytes (NUL-separated so no two components can collide by
-// concatenation). Identical field content submitted by upload or by
-// dataset reference hashes identically; the worker count is excluded
-// because every pipeline result is bit-identical at any worker count.
+// the request kind, the canonicalized option string, and the payload's
+// own SHA-256 digest (NUL-separated so no two components can collide
+// by concatenation). The digest is computed while the body spools, so
+// content addressing never requires the raw bytes in memory. Identical
+// field content submitted by upload or by dataset reference hashes
+// identically; the worker count is excluded because every pipeline
+// result is bit-identical at any worker count.
 func cacheKey(kind, canon string, raw []byte) string {
 	h := sha256.New()
 	io.WriteString(h, kind)

@@ -53,6 +53,14 @@ type Config struct {
 	// client can shrink maxlag or split the field instead of OOMing the
 	// server. 0 disables the check. Env CORRCOMPD_MEM_BUDGET (bytes).
 	MemBudget int64
+	// StreamBudget turns on out-of-core analysis: analyze requests
+	// whose payload exceeds this many bytes run through the
+	// tile-streaming reader with the transform pool capped at the
+	// budget instead of slurping the field into RAM. Dataset references
+	// larger than MaxBodyBytes are admitted on this path (uploads stay
+	// bounded by the body cap, which is a transport limit). 0 disables
+	// streaming. Env CORRCOMPD_STREAM_BUDGET (bytes).
+	StreamBudget int64
 	// Executors is the number of concurrent job runners. Each runner
 	// drives one pipeline whose inner parallelism draws from the global
 	// worker-pool token budget, so a small executor count keeps the
@@ -166,6 +174,13 @@ func FromEnv(getenv func(string) string) (Config, error) {
 			return c, fmt.Errorf("service: CORRCOMPD_MEM_BUDGET=%q: %v", s, err)
 		}
 		c.MemBudget = n
+	}
+	if s := getenv("CORRCOMPD_STREAM_BUDGET"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("service: CORRCOMPD_STREAM_BUDGET=%q: %v", s, err)
+		}
+		c.StreamBudget = n
 	}
 	if s := getenv("CORRCOMPD_STATS_PERIOD"); s != "" {
 		d, err := time.ParseDuration(s)

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,11 +30,23 @@ import (
 // the predicted transform peak used by memory-budget admission.
 // Sync endpoints run specs on the request goroutine with the request's
 // context; async jobs run them on an executor with the job's context.
+// cleanup, when set, owns resources the run closure borrows (an open
+// tile reader, a spooled temp file); the holder calls release exactly
+// once after the spec can never run again.
 type runSpec struct {
 	kind      string
 	key       string
 	peakBytes int64
 	run       func(ctx context.Context) (any, error)
+	cleanup   func()
+}
+
+// release runs the spec's cleanup at most once.
+func (sp *runSpec) release() {
+	if sp.cleanup != nil {
+		sp.cleanup()
+		sp.cleanup = nil
+	}
 }
 
 // apiError carries an HTTP status through the handler plumbing.
@@ -133,66 +146,156 @@ func (u uploadField) elemBytes() int64 {
 	return 8
 }
 
-// fieldFromRequest resolves the field of a request: the raw body
-// (bounded by MaxBodyBytes) or a ?dataset=name reference into the
-// server's data directory. The raw bytes feed the content address;
-// the parsed field feeds the pipeline. The byte budget is enforced
-// before the parse and the parse validates the header's shape before
-// allocating, so a hostile request cannot make the server reserve
-// more memory than the configured body cap. (The element budget is
-// derived from the float64 width for both lanes, so the guarantee
-// holds regardless of which lane the header claims.)
-func (s *Server) fieldFromRequest(w http.ResponseWriter, r *http.Request) ([]byte, uploadField, error) {
-	var raw []byte
-	if name := r.URL.Query().Get("dataset"); name != "" {
-		var err error
-		if raw, err = s.readDataset(name); err != nil {
-			return nil, uploadField{}, err
-		}
-	} else {
-		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		var err error
-		if raw, err = io.ReadAll(body); err != nil {
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) {
-				return nil, uploadField{}, apiErrorf(http.StatusRequestEntityTooLarge,
-					"body exceeds %d bytes", s.cfg.MaxBodyBytes)
-			}
-			return nil, uploadField{}, apiErrorf(http.StatusBadRequest, "reading body: %v", err)
-		}
-	}
-	if len(raw) == 0 {
-		return nil, uploadField{}, apiErrorf(http.StatusBadRequest,
-			"empty field payload: POST a binary field or pass ?dataset=name")
-	}
-	wide, narrow, err := field.ReadAnyLimit(bytes.NewReader(raw), s.maxElements())
-	if err != nil {
-		return nil, uploadField{}, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
-	}
-	return raw, uploadField{wide: wide, narrow: narrow}, nil
+// spoolMemLimit is the largest upload kept wholly in memory while
+// spooling; bigger bodies spill to a temp file as they are hashed, so
+// the server never holds both the raw bytes and the parsed field.
+const spoolMemLimit = 1 << 20
+
+// fieldSource is a request's resolved field payload. digest is the
+// SHA-256 of the payload bytes — computed while the body spools, so
+// the content address never requires the whole payload in memory.
+// Exactly one representation is live: the parsed in-RAM lanes (u), or
+// a backing file path for out-of-core streaming.
+type fieldSource struct {
+	digest []byte
+	size   int64
+	u      uploadField
+	path   string // backing file for streaming ("" when parsed in RAM)
+	temp   bool   // path is a spooled temp file to delete after the run
 }
 
-func (s *Server) readDataset(name string) ([]byte, error) {
+func (src fieldSource) streaming() bool { return src.path != "" }
+
+// resolveField resolves the field of a request: the raw body (bounded
+// by MaxBodyBytes) or a ?dataset=name reference into the server's data
+// directory. With streamOK (an analyze request on a server with a
+// StreamBudget), payloads over the budget stay on disk — the spooled
+// temp file or the dataset file itself — for out-of-core analysis;
+// everything else parses in RAM, with the byte budget enforced before
+// the parse and the parse validating the header's shape before
+// allocating, so a hostile request cannot make the server reserve more
+// memory than the configured caps. (The element budget is derived from
+// the float64 width for both lanes, so the guarantee holds regardless
+// of which lane the header claims.)
+func (s *Server) resolveField(w http.ResponseWriter, r *http.Request, streamOK bool) (fieldSource, error) {
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		return s.datasetSource(name, streamOK)
+	}
+	return s.spoolBody(w, r, streamOK)
+}
+
+// datasetSource resolves ?dataset=name. Streaming datasets are hashed
+// in place (one sequential read, no allocation) and may exceed
+// MaxBodyBytes — the whole point of out-of-core analysis; in-RAM use
+// keeps the cap.
+func (s *Server) datasetSource(name string, streamOK bool) (fieldSource, error) {
 	if s.cfg.DataDir == "" {
-		return nil, apiErrorf(http.StatusNotFound, "no dataset directory configured")
+		return fieldSource{}, apiErrorf(http.StatusNotFound, "no dataset directory configured")
 	}
 	if name != filepath.Base(name) || name == "." || name == ".." {
-		return nil, apiErrorf(http.StatusBadRequest, "invalid dataset name %q", name)
+		return fieldSource{}, apiErrorf(http.StatusBadRequest, "invalid dataset name %q", name)
 	}
 	p := filepath.Join(s.cfg.DataDir, name)
 	st, err := os.Stat(p)
 	if err != nil || st.IsDir() {
-		return nil, apiErrorf(http.StatusNotFound, "unknown dataset %q", name)
+		return fieldSource{}, apiErrorf(http.StatusNotFound, "unknown dataset %q", name)
 	}
-	if st.Size() > s.cfg.MaxBodyBytes {
-		return nil, apiErrorf(http.StatusRequestEntityTooLarge,
+	stream := streamOK && st.Size() > s.cfg.StreamBudget
+	if !stream && st.Size() > s.cfg.MaxBodyBytes {
+		return fieldSource{}, apiErrorf(http.StatusRequestEntityTooLarge,
 			"dataset %q is %d bytes, over the %d-byte cap", name, st.Size(), s.cfg.MaxBodyBytes)
 	}
-	raw, err := os.ReadFile(p)
+	f, err := os.Open(p)
 	if err != nil {
-		return nil, apiErrorf(http.StatusInternalServerError, "reading dataset %q: %v", name, err)
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "reading dataset %q: %v", name, err)
 	}
-	return raw, nil
+	defer f.Close()
+	h := sha256.New()
+	if stream {
+		if _, err := io.Copy(h, f); err != nil {
+			return fieldSource{}, apiErrorf(http.StatusInternalServerError, "hashing dataset %q: %v", name, err)
+		}
+		return fieldSource{digest: h.Sum(nil), size: st.Size(), path: p}, nil
+	}
+	raw, err := io.ReadAll(io.TeeReader(f, h))
+	if err != nil {
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "reading dataset %q: %v", name, err)
+	}
+	return s.parseSource(fieldSource{digest: h.Sum(nil), size: int64(len(raw))}, raw)
+}
+
+// spoolBody drains the request body through the content hasher into a
+// memory buffer, spilling to a temp file past the spool limit (or past
+// the stream budget, so anything that will stream lands on disk). The
+// temp file of a non-streaming body is deleted as soon as the field is
+// parsed; a streaming body's spool lives until the spec's cleanup.
+func (s *Server) spoolBody(w http.ResponseWriter, r *http.Request, streamOK bool) (fieldSource, error) {
+	badBody := func(err error) error {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return apiErrorf(http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return apiErrorf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spillAt := int64(spoolMemLimit)
+	if streamOK && s.cfg.StreamBudget < spillAt {
+		spillAt = s.cfg.StreamBudget
+	}
+	h := sha256.New()
+	var buf bytes.Buffer
+	n, err := io.Copy(io.MultiWriter(&buf, h), io.LimitReader(body, spillAt))
+	if err != nil {
+		return fieldSource{}, badBody(err)
+	}
+	if n < spillAt {
+		if n == 0 {
+			return fieldSource{}, apiErrorf(http.StatusBadRequest,
+				"empty field payload: POST a binary field or pass ?dataset=name")
+		}
+		return s.parseSource(fieldSource{digest: h.Sum(nil), size: n}, buf.Bytes())
+	}
+	tmp, err := os.CreateTemp("", "corrcompd-spool-*")
+	if err != nil {
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "spooling body: %v", err)
+	}
+	drop := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		drop()
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "spooling body: %v", err)
+	}
+	m, err := io.Copy(io.MultiWriter(tmp, h), body)
+	if err != nil {
+		drop()
+		return fieldSource{}, badBody(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "spooling body: %v", err)
+	}
+	src := fieldSource{digest: h.Sum(nil), size: n + m, path: tmp.Name(), temp: true}
+	if streamOK && src.size > s.cfg.StreamBudget {
+		return src, nil
+	}
+	raw, err := os.ReadFile(src.path)
+	os.Remove(src.path)
+	src.path, src.temp = "", false
+	if err != nil {
+		return fieldSource{}, apiErrorf(http.StatusInternalServerError, "reading spooled body: %v", err)
+	}
+	return s.parseSource(src, raw)
+}
+
+// parseSource finishes an in-RAM source: the payload parses onto its
+// stored lane and the raw bytes are dropped.
+func (s *Server) parseSource(src fieldSource, raw []byte) (fieldSource, error) {
+	wide, narrow, err := field.ReadAnyLimit(bytes.NewReader(raw), s.maxElements())
+	if err != nil {
+		return fieldSource{}, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
+	}
+	src.u = uploadField{wide: wide, narrow: narrow}
+	return src, nil
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -424,15 +527,23 @@ type predictResult struct {
 // codec names — before any pipeline work, so every 4xx happens at
 // submit time and an admitted job can only fail on compute errors.
 func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) (runSpec, error) {
-	raw, u, err := s.fieldFromRequest(w, r)
+	streamOK := kind == "analyze" && s.cfg.StreamBudget > 0
+	src, err := s.resolveField(w, r, streamOK)
 	if err != nil {
 		return runSpec{}, err
 	}
 	q := r.URL.Query()
 	p, err := parseAnalysisParams(q)
 	if err != nil {
+		if src.temp {
+			os.Remove(src.path)
+		}
 		return runSpec{}, err
 	}
+	if src.streaming() {
+		return s.buildStreamSpec(src, p)
+	}
+	u := src.u
 	if err := validateMaxLag(p.maxLag, u.minDim()); err != nil {
 		return runSpec{}, err
 	}
@@ -454,7 +565,7 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		aOpts := p.options(workers)
 		return runSpec{
 			kind:      kind,
-			key:       cacheKey(kind, p.canon(), raw),
+			key:       cacheKey(kind, p.canon(), src.digest),
 			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
 				stats, err := analyzeLane(ctx, aOpts)
@@ -487,7 +598,7 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		mOpts := core.MeasureOptions{Analysis: p.options(workers), ErrorBounds: ebs, Workers: workers}
 		return runSpec{
 			kind:      kind,
-			key:       cacheKey(kind, canon, raw),
+			key:       cacheKey(kind, canon, src.digest),
 			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
 				var ms []core.Measurement
@@ -530,7 +641,7 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		canon := p.canon() + "|eb=" + fmtFloat(eb) + "|codec=" + codec + "|" + s.trainCanon(rank, eb)
 		return runSpec{
 			kind:      kind,
-			key:       cacheKey(kind, canon, raw),
+			key:       cacheKey(kind, canon, src.digest),
 			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
 				pred, err := s.predictor(ctx, rank, eb)
@@ -560,6 +671,57 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 		}, nil
 	}
 	return runSpec{}, apiErrorf(http.StatusNotFound, "unknown job kind %q (want analyze, measure, or predict)", kind)
+}
+
+// buildStreamSpec builds the out-of-core analyze spec: the field stays
+// on disk behind a tile reader and the pipeline streams budget-sized
+// tiles, with the transform pool capped at Config.StreamBudget. The
+// windowed statistics are bit-identical to the in-RAM pipeline; the
+// spectral global variogram is tolerance-equivalent (exact pair
+// counts), so the stream budget joins the canonical option string to
+// keep streamed and slurped spectral results at distinct content
+// addresses. Admission charges the budget itself — the streaming
+// pipeline's transform peak is bounded by it.
+func (s *Server) buildStreamSpec(src fieldSource, p analysisParams) (runSpec, error) {
+	dropTemp := func() {
+		if src.temp {
+			os.Remove(src.path)
+		}
+	}
+	// The element budget only guards header arithmetic here: the reader
+	// rejects any header claiming more bytes than the file holds, so the
+	// file's own size is the real bound.
+	tr, err := field.OpenTileReaderMapped(src.path, int(src.size/4)+16)
+	if err != nil {
+		dropTemp()
+		return runSpec{}, apiErrorf(http.StatusBadRequest, "bad field payload: %v", err)
+	}
+	if err := validateMaxLag(p.maxLag, tr.MinDim()); err != nil {
+		tr.Close()
+		dropTemp()
+		return runSpec{}, err
+	}
+	budget := s.cfg.StreamBudget
+	aOpts := p.options(s.cfg.Workers)
+	aOpts.MemBudget = budget
+	shape := tr.Shape()
+	canon := p.canon() + "|stream=" + strconv.FormatInt(budget, 10)
+	return runSpec{
+		kind:      "analyze",
+		key:       cacheKey("analyze", canon, src.digest),
+		peakBytes: budget,
+		cleanup: func() {
+			tr.Close()
+			dropTemp()
+		},
+		run: func(ctx context.Context) (any, error) {
+			stats, err := core.AnalyzeReaderCtx(ctx, tr, aOpts)
+			if err != nil {
+				return nil, err
+			}
+			return analyzeResult{Shape: shape, Stats: stats}, nil
+		},
+	}, nil
 }
 
 // ---- predictor training ------------------------------------------
@@ -661,6 +823,7 @@ func (s *Server) syncHandler(kind string) http.HandlerFunc {
 			s.writeError(w, err)
 			return
 		}
+		defer spec.release()
 		start := time.Now()
 		val, cached, peak, err := s.execute(r.Context(), spec)
 		if err != nil {
@@ -686,6 +849,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.submitJob(spec)
+	if err != nil {
+		spec.release() // the spec will never run; drop its resources
+	}
 	if errors.Is(err, errQueueFull) {
 		s.writeError(w, apiErrorf(http.StatusTooManyRequests,
 			"job queue full (%d waiting); retry later", s.cfg.MaxQueue))

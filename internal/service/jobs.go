@@ -205,8 +205,10 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	reserved := j.spec.peakBytes
 	if j.info.State != JobQueued { // cancelled while waiting
+		spec := j.spec
 		j.spec = runSpec{kind: j.spec.kind}
 		j.mu.Unlock()
+		spec.release()
 		s.releaseMem(reserved)
 		return
 	}
@@ -216,6 +218,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	val, cached, peak, err := s.execute(j.ctx, spec)
+	spec.release()
 	s.releaseMem(reserved)
 
 	now := time.Now()

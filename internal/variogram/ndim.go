@@ -305,6 +305,15 @@ func sampledScanField(ctx context.Context, f *field.Field, o Options) (*Empirica
 // independent, so the float32 lane samples exactly the pairs the
 // oracle lane would.
 func sampledScanData[T field.Elem](ctx context.Context, data []T, shape []int, o Options) (*Empirical, error) {
+	return sampledScanAt(ctx, func(i int) float64 { return float64(data[i]) }, shape, o)
+}
+
+// sampledScanAt is the accessor form of the pair sampler: elements are
+// fetched through at, which lets the out-of-core path aim the identical
+// draw sequence at a TileReader. Widening happens inside the accessor
+// (exactly, for the float32 lane), so the accumulation arithmetic —
+// and therefore the seeded result — is byte-for-byte the in-RAM scan's.
+func sampledScanAt(ctx context.Context, at func(int) float64, shape []int, o Options) (*Empirical, error) {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -364,7 +373,7 @@ func sampledScanData[T field.Elem](ctx context.Context, data []T, shape []int, o
 			i += pos[k] * strides[k]
 			j += (pos[k] + off[k]) * strides[k]
 		}
-		d := float64(data[i]) - float64(data[j])
+		d := at(i) - at(j)
 		sum[bin] += d * d
 		cnt[bin]++
 	}
