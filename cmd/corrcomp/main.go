@@ -498,7 +498,14 @@ func cmdPredict(args []string) error {
 	seed := fs.Uint64("seed", 1, "seed")
 	in := fs.String("in", "", "optional field (2D or 3D) to select a compressor for")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	folds := fs.Int("folds", 0, "cross-validation folds (0 = 5, negative disables)")
+	save := fs.String("save", "", "write the trained model as versioned JSON to this path")
+	load := fs.String("load", "", "serve from a saved model instead of training")
 	fs.Parse(args)
+
+	if *load != "" && *save != "" {
+		return fmt.Errorf("-load and -save are mutually exclusive (a loaded model is already saved)")
+	}
 
 	var target *lossycorr.Field
 	var err error
@@ -528,45 +535,101 @@ func cmdPredict(args []string) error {
 		}
 	}
 
+	var p *lossycorr.Predictor
 	var fields []*lossycorr.Field
-	var labels []float64
-	for i := 0; i < *train; i++ {
-		if rank == 2 {
-			rang := float64(edge) / 64 * float64(int(2)<<uint(i%6))
-			f, err := lossycorr.GenerateGaussian(lossycorr.GaussianParams{
-				Rows: edge, Cols: edge, Range: rang, Seed: *seed + uint64(i),
-			})
-			if err != nil {
-				return err
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		p, err = lossycorr.LoadPredictor(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		prov := p.Provenance()
+		if prov.Rank != 0 && target != nil && prov.Rank != rank {
+			return fmt.Errorf("model %s was trained on rank %d fields, -in is rank %d", *load, prov.Rank, rank)
+		}
+		fmt.Printf("loaded model %s (source %s, %d measurements)\n", *load, prov.Source, prov.Measurements)
+	} else {
+		var labels []float64
+		for i := 0; i < *train; i++ {
+			if rank == 2 {
+				rang := float64(edge) / 64 * float64(int(2)<<uint(i%6))
+				f, err := lossycorr.GenerateGaussian(lossycorr.GaussianParams{
+					Rows: edge, Cols: edge, Range: rang, Seed: *seed + uint64(i),
+				})
+				if err != nil {
+					return err
+				}
+				fields = append(fields, lossycorr.FieldFromGrid(f))
+				labels = append(labels, rang)
+			} else {
+				rang := float64(edge) / 16 * float64(int(1)<<uint(i%3))
+				v, err := lossycorr.GenerateGaussian3D(lossycorr.Gaussian3DParams{
+					Nz: edge, Ny: edge, Nx: edge, Range: rang, Seed: *seed + uint64(i),
+				})
+				if err != nil {
+					return err
+				}
+				fields = append(fields, lossycorr.FieldFromVolume(v))
+				labels = append(labels, rang)
 			}
-			fields = append(fields, lossycorr.FieldFromGrid(f))
-			labels = append(labels, rang)
-		} else {
-			rang := float64(edge) / 16 * float64(int(1)<<uint(i%3))
-			v, err := lossycorr.GenerateGaussian3D(lossycorr.Gaussian3DParams{
-				Nz: edge, Ny: edge, Nx: edge, Range: rang, Seed: *seed + uint64(i),
-			})
-			if err != nil {
-				return err
-			}
-			fields = append(fields, lossycorr.FieldFromVolume(v))
-			labels = append(labels, rang)
+		}
+		ms, err := lossycorr.MeasureFieldSet("train", fields, labels, lossycorr.MeasureOptions{
+			Analysis:    lossycorr.AnalysisOptions{SkipLocal: true},
+			ErrorBounds: []float64{*eb},
+			Workers:     *workers,
+		})
+		if err != nil {
+			return err
+		}
+		p, err = lossycorr.TrainPredictorOpts(ms, lossycorr.XGlobalRange, lossycorr.TrainOptions{
+			Folds: *folds, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		p.SetProvenance(lossycorr.ModelProvenance{
+			Source: "train", Rank: rank, TrainFields: *train, TrainEdge: edge,
+			Seed: *seed, Measurements: len(ms),
+		})
+	}
+
+	fmt.Println("models:", strings.Join(p.Models(), " "))
+	// Models() renders bounds with %g, which ParseFloat inverts exactly,
+	// so the listing doubles as the CV lookup key.
+	for _, name := range p.Models() {
+		at := strings.LastIndex(name, "@")
+		bound, err := strconv.ParseFloat(name[at+1:], 64)
+		if err != nil {
+			continue
+		}
+		if cv, ok := p.CV(name[:at], bound); ok {
+			fmt.Printf("  %s: %s\n", name, cv)
 		}
 	}
-	ms, err := lossycorr.MeasureFieldSet("train", fields, labels, lossycorr.MeasureOptions{
-		Analysis:    lossycorr.AnalysisOptions{SkipLocal: true},
-		ErrorBounds: []float64{*eb},
-		Workers:     *workers,
-	})
-	if err != nil {
-		return err
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := lossycorr.SavePredictor(f, p); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", *save)
 	}
-	p, err := lossycorr.TrainPredictor(ms, lossycorr.XGlobalRange)
-	if err != nil {
-		return err
-	}
-	fmt.Println("trained models:", strings.Join(p.Models(), " "))
+
 	if target == nil {
+		if len(fields) == 0 {
+			return nil // -load without -in: model inspection only
+		}
 		target = fields[len(fields)-1]
 	}
 	stats, err := lossycorr.AnalyzeField(target, lossycorr.AnalysisOptions{SkipLocal: true})
@@ -577,8 +640,12 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("estimated range %.3f → selected %s (predicted CR %.2f)\n",
-		stats.GlobalRange, sel.Compressor, sel.Predicted)
+	pred, err := p.PredictRatioInterval(sel.Compressor, *eb, stats, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated range %.3f → selected %s (predicted CR %.2f [%.2f, %.2f] at %g%% PI)\n",
+		stats.GlobalRange, sel.Compressor, pred.Ratio, pred.Lo, pred.Hi, pred.Level*100)
 	res, err := lossycorr.MeasureField(sel.Compressor, target, *eb)
 	if err != nil {
 		return err

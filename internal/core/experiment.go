@@ -49,6 +49,21 @@ func (s StatSelector) Value(st Statistics) float64 {
 	}
 }
 
+// WithValue returns a Statistics carrying x as the selected statistic —
+// the inverse of Value, for callers holding the statistic alone (e.g.
+// corrcompd's stats-only predict path, where the client sends a cached
+// statistic instead of a field).
+func (s StatSelector) WithValue(x float64) Statistics {
+	switch s {
+	case XGlobalRange:
+		return Statistics{GlobalRange: x}
+	case XLocalRangeStd:
+		return Statistics{LocalRangeStd: x}
+	default:
+		return Statistics{LocalSVDStd: x}
+	}
+}
+
 // Metric selects the y quantity of a series.
 type Metric int
 

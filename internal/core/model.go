@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"lossycorr/internal/regression"
+)
+
+// ModelSchema is the versioned identifier written into every persisted
+// model file. LoadPredictor rejects any other value, so files written by
+// a future incompatible schema fail loudly instead of being
+// half-interpreted.
+const ModelSchema = "lossycorr-model/v1"
+
+// ModelProvenance records how a predictor was trained. It travels with
+// the model through SavePredictor/LoadPredictor so a serving fleet can
+// report where each model came from without re-deriving it.
+type ModelProvenance struct {
+	// Source is "train" for freshly trained predictors and "file" after
+	// LoadPredictor (callers may overwrite it with something richer,
+	// e.g. the originating path or service canon).
+	Source string `json:"source,omitempty"`
+	// Rank is the field rank the training set was built from (2 or 3);
+	// 0 when unknown.
+	Rank int `json:"rank,omitempty"`
+	// TrainFields and TrainEdge describe the synthetic training ladder
+	// when one was used (count of fields per correlation range, edge
+	// length); 0 when unknown.
+	TrainFields int `json:"trainFields,omitempty"`
+	TrainEdge   int `json:"trainEdge,omitempty"`
+	// Seed is the RNG seed of the training-field generator; 0 when
+	// unknown or not applicable.
+	Seed uint64 `json:"seed,omitempty"`
+	// Measurements is the number of measurements the fits were built
+	// from.
+	Measurements int `json:"measurements,omitempty"`
+}
+
+// Selector persistence names. These are stable identifiers, not display
+// strings — StatSelector.String() is a paper axis label and free to
+// change, so the model file uses these instead.
+const (
+	selNameGlobalRange   = "global-range"
+	selNameLocalRangeStd = "local-range-std"
+	selNameLocalSVDStd   = "local-svd-std"
+)
+
+// Key returns the selector's stable persistence name.
+func (s StatSelector) Key() string {
+	switch s {
+	case XGlobalRange:
+		return selNameGlobalRange
+	case XLocalRangeStd:
+		return selNameLocalRangeStd
+	case XLocalSVDStd:
+		return selNameLocalSVDStd
+	default:
+		return fmt.Sprintf("unknown-%d", int(s))
+	}
+}
+
+// ParseStatSelector inverts StatSelector.Key.
+func ParseStatSelector(name string) (StatSelector, error) {
+	switch name {
+	case selNameGlobalRange:
+		return XGlobalRange, nil
+	case selNameLocalRangeStd:
+		return XLocalRangeStd, nil
+	case selNameLocalSVDStd:
+		return XLocalSVDStd, nil
+	default:
+		return 0, fmt.Errorf("core: unknown statistic selector %q", name)
+	}
+}
+
+// modelRecord is one persisted (compressor, error bound) model: the
+// fitted coefficients plus optional cross-validation diagnostics.
+type modelRecord struct {
+	Compressor string              `json:"compressor"`
+	ErrorBound float64             `json:"errorBound"`
+	Fit        regression.LogFit   `json:"fit"`
+	CV         *regression.CVStats `json:"cv,omitempty"`
+}
+
+// modelFile is the on-disk layout of a persisted predictor.
+type modelFile struct {
+	Schema     string          `json:"schema"`
+	Selector   string          `json:"selector"`
+	Provenance ModelProvenance `json:"provenance,omitempty"`
+	Models     []modelRecord   `json:"models"`
+}
+
+// SavePredictor writes the predictor as versioned, indented JSON. The
+// records are sorted by compressor then bound, so saving the same
+// predictor twice produces byte-identical output. Because
+// encoding/json round-trips float64 exactly (shortest-representation
+// encoding), a predictor reloaded from this file produces bit-identical
+// predictions to the original.
+func SavePredictor(w io.Writer, p *Predictor) error {
+	mf := modelFile{
+		Schema:     ModelSchema,
+		Selector:   p.sel.Key(),
+		Provenance: p.prov,
+		Models:     make([]modelRecord, 0, len(p.fits)),
+	}
+	for k, fit := range p.fits {
+		rec := modelRecord{Compressor: k.comp, ErrorBound: k.eb, Fit: fit}
+		if cv, ok := p.cv[k]; ok {
+			cvCopy := cv
+			rec.CV = &cvCopy
+		}
+		mf.Models = append(mf.Models, rec)
+	}
+	sort.Slice(mf.Models, func(i, j int) bool {
+		a, b := mf.Models[i], mf.Models[j]
+		if a.Compressor != b.Compressor {
+			return a.Compressor < b.Compressor
+		}
+		return a.ErrorBound < b.ErrorBound
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mf)
+}
+
+// LoadPredictor reads a predictor previously written by SavePredictor.
+// Unknown schema versions and selector names are rejected — forward
+// compatibility means failing loudly, not guessing. The loaded
+// predictor's provenance Source is rewritten to "file" unless the file
+// recorded something else.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	dec := json.NewDecoder(r)
+	var mf modelFile
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Schema != ModelSchema {
+		return nil, fmt.Errorf("core: unsupported model schema %q (want %q)", mf.Schema, ModelSchema)
+	}
+	sel, err := ParseStatSelector(mf.Selector)
+	if err != nil {
+		return nil, err
+	}
+	if len(mf.Models) == 0 {
+		return nil, fmt.Errorf("core: model file has no models")
+	}
+	p := &Predictor{sel: sel,
+		fits: make(map[predKey]regression.LogFit, len(mf.Models)),
+		cv:   make(map[predKey]regression.CVStats)}
+	for _, rec := range mf.Models {
+		if rec.Compressor == "" {
+			return nil, fmt.Errorf("core: model record missing compressor")
+		}
+		if !(rec.ErrorBound > 0) {
+			return nil, fmt.Errorf("core: model %s has non-positive error bound %g", rec.Compressor, rec.ErrorBound)
+		}
+		k := predKey{rec.Compressor, rec.ErrorBound}
+		if _, dup := p.fits[k]; dup {
+			return nil, fmt.Errorf("core: duplicate model %s@%g", rec.Compressor, rec.ErrorBound)
+		}
+		p.fits[k] = rec.Fit
+		if rec.CV != nil {
+			p.cv[k] = *rec.CV
+		}
+	}
+	p.prov = mf.Provenance
+	if p.prov.Source == "" || p.prov.Source == "train" {
+		p.prov.Source = "file"
+	}
+	return p, nil
+}

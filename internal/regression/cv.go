@@ -1,0 +1,136 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/xrand"
+)
+
+// CVStats are k-fold cross-validation diagnostics of a log fit: how
+// well CR = α + β·ln(x) predicts points the fit never saw. The pooled
+// R²/RMSE aggregate every held-out prediction; the per-fold slices keep
+// the spread visible (a single lucky fold can hide a fragile model).
+// Kruskal's relative-importance point applies here: the in-sample R²
+// FitLog reports says how much variance the statistic absorbs on its
+// own training set, while CVStats.R2 is the out-of-sample number a
+// deployment will actually see.
+type CVStats struct {
+	// Folds is the fold count actually used (requests are clamped to
+	// the usable point count, so small sets degrade to leave-one-out).
+	Folds int `json:"folds"`
+	// Seed drove the deterministic fold assignment.
+	Seed uint64 `json:"seed"`
+	// N is the number of usable points; Skipped counts the points the
+	// log-model filter dropped (non-positive x, non-finite values) —
+	// the same filter FitLog applies, so N + Skipped = len(x).
+	N       int `json:"n"`
+	Skipped int `json:"skipped"`
+	// R2 and RMSE pool every held-out prediction: R² against the global
+	// mean of y, RMSE as √(mean squared held-out residual).
+	R2   float64 `json:"r2"`
+	RMSE float64 `json:"rmse"`
+	// FoldR2 and FoldRMSE are the same quantities per fold, in fold
+	// order. A fold whose training fit failed holds NaN in both.
+	FoldR2   []float64 `json:"foldR2"`
+	FoldRMSE []float64 `json:"foldRMSE"`
+}
+
+// String renders the pooled diagnostics compactly.
+func (c CVStats) String() string {
+	return fmt.Sprintf("CV(k=%d): R²=%.3f RMSE=%.3f (n=%d, skipped=%d)", c.Folds, c.R2, c.RMSE, c.N, c.Skipped)
+}
+
+// CrossValidateLog runs seeded k-fold cross-validation of the
+// logarithmic model over (x, y). Points are filtered exactly as FitLog
+// filters them, shuffled by a deterministic seeded permutation, and
+// dealt round-robin into k folds; each fold is then predicted by a fit
+// trained on the other k−1. The assignment depends only on (len of the
+// filtered set, k, seed) — never on goroutine scheduling — so the
+// diagnostics are bit-identical across worker counts and runs.
+// k < 2 selects the default of 5; k is clamped to the usable point
+// count (degrading to leave-one-out). At least three usable points are
+// required, so every training fold keeps ≥ 2 points.
+func CrossValidateLog(x, y []float64, k int, seed uint64) (CVStats, error) {
+	if len(x) != len(y) {
+		return CVStats{}, fmt.Errorf("regression: length mismatch %d vs %d", len(x), len(y))
+	}
+	lx, ly, skipped := filterLog(x, y)
+	n := len(lx)
+	if n < 3 {
+		return CVStats{}, fmt.Errorf("regression: cross-validation needs >= 3 usable points, got %d", n)
+	}
+	if k < 2 {
+		k = 5
+	}
+	if k > n {
+		k = n
+	}
+	cv := CVStats{Folds: k, Seed: seed, N: n, Skipped: skipped,
+		FoldR2: make([]float64, k), FoldRMSE: make([]float64, k)}
+
+	// Deterministic assignment: shuffle indices with the seeded
+	// generator, deal round-robin so fold sizes differ by at most one.
+	perm := xrand.New(seed).Perm(n)
+	fold := make([]int, n)
+	for pos, idx := range perm {
+		fold[idx] = pos % k
+	}
+
+	mean := linalg.Mean(ly)
+	var pooledRes, pooledTot float64
+	var pooledN int
+	trainLX := make([]float64, 0, n)
+	trainLY := make([]float64, 0, n)
+	for f := 0; f < k; f++ {
+		trainLX, trainLY = trainLX[:0], trainLY[:0]
+		var heldLX, heldLY []float64
+		for i := 0; i < n; i++ {
+			if fold[i] == f {
+				heldLX = append(heldLX, lx[i])
+				heldLY = append(heldLY, ly[i])
+			} else {
+				trainLX = append(trainLX, lx[i])
+				trainLY = append(trainLY, ly[i])
+			}
+		}
+		fit, err := fitLogSpace(trainLX, trainLY)
+		if err != nil {
+			cv.FoldR2[f], cv.FoldRMSE[f] = math.NaN(), math.NaN()
+			continue
+		}
+		var ssRes, ssTot float64
+		foldMean := linalg.Mean(heldLY)
+		for i := range heldLX {
+			r := heldLY[i] - (fit.Alpha + fit.Beta*heldLX[i])
+			ssRes += r * r
+			t := heldLY[i] - foldMean
+			ssTot += t * t
+			g := heldLY[i] - mean
+			pooledRes += r * r
+			pooledTot += g * g
+		}
+		pooledN += len(heldLX)
+		cv.FoldRMSE[f] = math.Sqrt(ssRes / float64(len(heldLX)))
+		cv.FoldR2[f] = rsqFromSums(ssRes, ssTot)
+	}
+	if pooledN == 0 {
+		return CVStats{}, fmt.Errorf("regression: no fold produced a usable fit")
+	}
+	cv.RMSE = math.Sqrt(pooledRes / float64(pooledN))
+	cv.R2 = rsqFromSums(pooledRes, pooledTot)
+	return cv, nil
+}
+
+// rsqFromSums is 1 − ssRes/ssTot with the degenerate constant-target
+// convention rSquared uses (exact fit → 1, anything else → 0).
+func rsqFromSums(ssRes, ssTot float64) float64 {
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

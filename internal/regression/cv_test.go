@@ -1,0 +1,220 @@
+package regression
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lossycorr/internal/xrand"
+)
+
+func noisyLogData(n int, noise float64, seed uint64) (xs, ys []float64) {
+	rng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		x := 1 + 99*rng.Float64()
+		xs = append(xs, x)
+		ys = append(ys, 2+3*math.Log(x)+noise*rng.NormFloat64())
+	}
+	return xs, ys
+}
+
+func TestCrossValidateLogRecoversGoodModel(t *testing.T) {
+	xs, ys := noisyLogData(200, 0.1, 7)
+	cv, err := CrossValidateLog(xs, ys, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Folds != 5 || cv.N != 200 || cv.Skipped != 0 {
+		t.Fatalf("cv meta %+v", cv)
+	}
+	if cv.R2 < 0.98 {
+		t.Fatalf("out-of-sample R²=%v, want near 1 for a well-specified model", cv.R2)
+	}
+	// RMSE of a correctly specified model should sit near the noise std.
+	if cv.RMSE < 0.05 || cv.RMSE > 0.2 {
+		t.Fatalf("RMSE=%v, want ≈0.1", cv.RMSE)
+	}
+	if len(cv.FoldR2) != 5 || len(cv.FoldRMSE) != 5 {
+		t.Fatalf("fold slices %d/%d", len(cv.FoldR2), len(cv.FoldRMSE))
+	}
+	for f, r2 := range cv.FoldR2 {
+		if math.IsNaN(r2) || r2 < 0.9 {
+			t.Fatalf("fold %d R²=%v", f, r2)
+		}
+	}
+}
+
+func TestCrossValidateLogDeterministic(t *testing.T) {
+	xs, ys := noisyLogData(60, 0.3, 11)
+	a, err := CrossValidateLog(xs, ys, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateLog(xs, ys, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := CrossValidateLog(xs, ys, 4, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R2 == c.R2 && reflect.DeepEqual(a.FoldR2, c.FoldR2) {
+		t.Fatalf("different seeds produced identical fold diagnostics: %+v", c)
+	}
+}
+
+func TestCrossValidateLogSkipsBadPoints(t *testing.T) {
+	xs, ys := noisyLogData(40, 0.1, 3)
+	xs = append(xs, -1, 0, math.NaN())
+	ys = append(ys, 5, 5, 5)
+	cv, err := CrossValidateLog(xs, ys, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.N != 40 || cv.Skipped != 3 {
+		t.Fatalf("N=%d skipped=%d, want 40/3", cv.N, cv.Skipped)
+	}
+}
+
+func TestCrossValidateLogClampsFolds(t *testing.T) {
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{1, 2, 3, 4}
+	cv, err := CrossValidateLog(xs, ys, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Folds != 4 {
+		t.Fatalf("folds=%d, want clamp to n=4 (leave-one-out)", cv.Folds)
+	}
+}
+
+func TestCrossValidateLogErrors(t *testing.T) {
+	if _, err := CrossValidateLog([]float64{1, 2}, []float64{1}, 5, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := CrossValidateLog([]float64{1, 2}, []float64{1, 2}, 5, 1); err == nil {
+		t.Fatal("two points cannot cross-validate")
+	}
+	if _, err := CrossValidateLog([]float64{-1, -2, -3, -4}, []float64{1, 2, 3, 4}, 2, 1); err == nil {
+		t.Fatal("all-filtered input must error")
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Two-sided 95% critical values from standard t tables.
+	cases := []struct {
+		dof  int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {5, 2.571},
+		{10, 2.228}, {30, 2.042}, {120, 1.980},
+	}
+	for _, c := range cases {
+		got := StudentTQuantile(0.975, c.dof)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("t(0.975, %d)=%v want %v", c.dof, got, c.want)
+		}
+	}
+	// Large dof converges on the normal quantile.
+	if got := StudentTQuantile(0.975, 100000); math.Abs(got-1.96) > 1e-2 {
+		t.Errorf("t(0.975, 1e5)=%v want ≈1.960", got)
+	}
+	if got := StudentTQuantile(0.025, 10); math.Abs(got+2.228) > 2e-3 {
+		t.Errorf("lower tail %v want -2.228", got)
+	}
+	if StudentTQuantile(0.5, 7) != 0 {
+		t.Error("median must be 0")
+	}
+	for _, bad := range []float64{0, 1, -0.1, 1.5} {
+		if !math.IsNaN(StudentTQuantile(bad, 5)) {
+			t.Errorf("p=%v must be NaN", bad)
+		}
+	}
+	if !math.IsNaN(StudentTQuantile(0.9, 0)) {
+		t.Error("dof=0 must be NaN")
+	}
+}
+
+func TestStudentTCDFQuantileRoundTrip(t *testing.T) {
+	for _, dof := range []int{1, 3, 8, 25} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.975, 0.999} {
+			q := StudentTQuantile(p, dof)
+			back := StudentTCDF(q, dof)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("dof=%d p=%v: CDF(Quantile)=%v", dof, p, back)
+			}
+		}
+	}
+}
+
+func TestPredictIntervalBrackets(t *testing.T) {
+	xs, ys := noisyLogData(80, 0.5, 9)
+	fit, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Sigma <= 0 || fit.SxxLX <= 0 {
+		t.Fatalf("fit lacks interval parameters: %+v", fit)
+	}
+	y, lo, hi := fit.PredictInterval(20, 0.95)
+	if !(lo < y && y < hi) {
+		t.Fatalf("interval [%v, %v] does not bracket %v", lo, hi, y)
+	}
+	// The 99% interval must contain the 95% one.
+	_, lo99, hi99 := fit.PredictInterval(20, 0.99)
+	if lo99 >= lo || hi99 <= hi {
+		t.Fatalf("99%% interval [%v, %v] not wider than 95%% [%v, %v]", lo99, hi99, lo, hi)
+	}
+	// Far from the training mean the interval widens.
+	_, loFar, hiFar := fit.PredictInterval(1e6, 0.95)
+	if hiFar-loFar <= hi-lo {
+		t.Fatalf("extrapolated interval %v not wider than interpolated %v", hiFar-loFar, hi-lo)
+	}
+	// Empirical coverage: ≈95% of fresh noisy points fall inside their
+	// own prediction interval.
+	rng := xrand.New(77)
+	hits, total := 0, 2000
+	for i := 0; i < total; i++ {
+		x := 1 + 99*rng.Float64()
+		truth := 2 + 3*math.Log(x) + 0.5*rng.NormFloat64()
+		_, l, h := fit.PredictInterval(x, 0.95)
+		if truth >= l && truth <= h {
+			hits++
+		}
+	}
+	cov := float64(hits) / float64(total)
+	if cov < 0.92 || cov > 0.98 {
+		t.Fatalf("95%% interval covered %.3f of fresh points", cov)
+	}
+}
+
+func TestPredictIntervalDegenerate(t *testing.T) {
+	// Exact fit: zero residual std collapses the interval.
+	var xs, ys []float64
+	for x := 1.0; x <= 32; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 1+2*math.Log(x))
+	}
+	fit, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, lo, hi := fit.PredictInterval(5, 0.95)
+	// Sigma of an analytically exact fit is only roundoff-sized, so the
+	// interval is allowed to be non-zero but must be negligible.
+	if hi-lo > 1e-9*math.Abs(y) {
+		t.Fatalf("exact fit interval [%v, %v] not negligible around %v", lo, hi, y)
+	}
+	// Two points: no residual degrees of freedom.
+	fit2, err := FitLog([]float64{2, 8}, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, lo2, hi2 := fit2.PredictInterval(4, 0.95)
+	if lo2 != y2 || hi2 != y2 {
+		t.Fatalf("n=2 interval [%v, %v] should collapse to %v", lo2, hi2, y2)
+	}
+}

@@ -11,11 +11,23 @@ import (
 	"lossycorr/internal/linalg"
 )
 
-// LogFit is a fitted CR = Alpha + Beta·ln(x) model.
+// LogFit is a fitted CR = Alpha + Beta·ln(x) model. Beyond the
+// coefficients it carries the sufficient statistics of the fit's
+// uncertainty — residual std, regressor mean, and centered sum of
+// squares in log space — so prediction intervals can be evaluated (and
+// serialized) without retaining the training points.
 type LogFit struct {
-	Alpha, Beta float64
-	R2          float64
-	N           int
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	R2    float64 `json:"r2"`
+	N     int     `json:"n"`
+	// Sigma is the residual standard deviation of the fit (N−2 degrees
+	// of freedom; 0 when N ≤ 2 or the fit is exact).
+	Sigma float64 `json:"sigma"`
+	// MeanLX and SxxLX are the mean and centered sum of squares of the
+	// regressor ln(x) over the fitted points.
+	MeanLX float64 `json:"meanLX"`
+	SxxLX  float64 `json:"sxxLX"`
 }
 
 // Predict evaluates the fit at x (x must be positive).
@@ -23,9 +35,48 @@ func (f LogFit) Predict(x float64) float64 {
 	return f.Alpha + f.Beta*math.Log(x)
 }
 
+// PredictInterval evaluates the fit at x together with a two-sided
+// prediction interval at the given confidence level (e.g. 0.95): the
+// classical t-based interval ŷ ± t_{N−2,(1+level)/2} · σ ·
+// √(1 + 1/N + (ln x − mean)²/Sxx). With fewer than three fitted points,
+// a zero residual std (exact fit), or a degenerate regressor spread the
+// interval collapses to the point estimate — the honest answer when the
+// dispersion is unidentifiable.
+func (f LogFit) PredictInterval(x, level float64) (y, lo, hi float64) {
+	y = f.Predict(x)
+	dof := f.N - 2
+	if dof < 1 || f.Sigma <= 0 || f.SxxLX <= 0 || level <= 0 || level >= 1 {
+		return y, y, y
+	}
+	lx := math.Log(x)
+	d := lx - f.MeanLX
+	se := f.Sigma * math.Sqrt(1+1/float64(f.N)+d*d/f.SxxLX)
+	h := StudentTQuantile((1+level)/2, dof) * se
+	return y, y - h, y + h
+}
+
 // String renders the fit the way the paper's figure legends do.
 func (f LogFit) String() string {
 	return fmt.Sprintf("α=%.3f β=%.3f (R²=%.3f, n=%d)", f.Alpha, f.Beta, f.R2, f.N)
+}
+
+// filterLog applies the log-model point filter shared by FitLog,
+// Residuals, and CrossValidateLog: points with non-positive or
+// non-finite x, or non-finite y, are dropped (the paper drops such
+// datapoints too). It returns ln(x) and y of the survivors plus the
+// number of points skipped, so callers sizing folds or reporting
+// coverage never confuse len(x) with the fitted count.
+func filterLog(x, y []float64) (lx, ly []float64, skipped int) {
+	for i := range x {
+		if x[i] <= 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) ||
+			math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			skipped++
+			continue
+		}
+		lx = append(lx, math.Log(x[i]))
+		ly = append(ly, y[i])
+	}
+	return lx, ly, skipped
 }
 
 // FitLog fits y = α + β·ln(x) by ordinary least squares. Points with
@@ -35,17 +86,12 @@ func FitLog(x, y []float64) (LogFit, error) {
 	if len(x) != len(y) {
 		return LogFit{}, fmt.Errorf("regression: length mismatch %d vs %d", len(x), len(y))
 	}
-	var lx, ly []float64
-	for i := range x {
-		if x[i] <= 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-			continue
-		}
-		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
-			continue
-		}
-		lx = append(lx, math.Log(x[i]))
-		ly = append(ly, y[i])
-	}
+	lx, ly, _ := filterLog(x, y)
+	return fitLogSpace(lx, ly)
+}
+
+// fitLogSpace fits y = α + β·v over already-log-transformed regressors.
+func fitLogSpace(lx, ly []float64) (LogFit, error) {
 	if len(lx) < 2 {
 		return LogFit{}, fmt.Errorf("regression: only %d usable points", len(lx))
 	}
@@ -55,6 +101,18 @@ func FitLog(x, y []float64) (LogFit, error) {
 	}
 	fit := LogFit{Alpha: coeffs[0], Beta: coeffs[1], N: len(lx)}
 	fit.R2 = rSquared(lx, ly, func(v float64) float64 { return fit.Alpha + fit.Beta*v })
+	mean := linalg.Mean(lx)
+	var sxx, ssRes float64
+	for i := range lx {
+		d := lx[i] - mean
+		sxx += d * d
+		r := ly[i] - (fit.Alpha + fit.Beta*lx[i])
+		ssRes += r * r
+	}
+	fit.MeanLX, fit.SxxLX = mean, sxx
+	if dof := len(lx) - 2; dof > 0 {
+		fit.Sigma = math.Sqrt(ssRes / float64(dof))
+	}
 	return fit, nil
 }
 
@@ -114,17 +172,16 @@ func rSquared(x, y []float64, predict func(float64) float64) float64 {
 }
 
 // Residuals returns y[i] − fit(x[i]) for a log fit, skipping unusable
-// points (same filter as FitLog), for dispersion diagnostics.
-func Residuals(f LogFit, x, y []float64) []float64 {
-	var out []float64
-	for i := range x {
-		if x[i] <= 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-			continue
-		}
-		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
-			continue
-		}
-		out = append(out, y[i]-f.Predict(x[i]))
+// points (same filter as FitLog), for dispersion diagnostics. The
+// second return is how many points the filter dropped — callers
+// deriving counts (fold sizes, coverage rates) from len(x) would
+// otherwise be silently wrong whenever the input holds degenerate
+// points.
+func Residuals(f LogFit, x, y []float64) ([]float64, int) {
+	lx, ly, skipped := filterLog(x, y)
+	out := make([]float64, len(lx))
+	for i := range lx {
+		out[i] = ly[i] - (f.Alpha + f.Beta*lx[i])
 	}
-	return out
+	return out, skipped
 }

@@ -126,11 +126,31 @@ func TestRSquaredDegenerate(t *testing.T) {
 
 func TestResiduals(t *testing.T) {
 	fit := LogFit{Alpha: 0, Beta: 1}
-	res := Residuals(fit, []float64{math.E, math.E * math.E, -1}, []float64{1.5, 2, 99})
+	res, skipped := Residuals(fit, []float64{math.E, math.E * math.E, -1}, []float64{1.5, 2, 99})
 	if len(res) != 2 {
 		t.Fatalf("residual count %d", len(res))
 	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d want 1", skipped)
+	}
 	if math.Abs(res[0]-0.5) > 1e-9 || math.Abs(res[1]-0) > 1e-9 {
 		t.Fatalf("residuals %v", res)
+	}
+}
+
+// TestResidualsSkipCount pins the bugfix: the caller can now tell how
+// many points the log-model filter dropped, so counts derived from
+// len(x) (e.g. CV fold sizes) cannot silently drift from the fitted
+// set.
+func TestResidualsSkipCount(t *testing.T) {
+	fit := LogFit{Alpha: 1, Beta: 0}
+	x := []float64{1, -2, 0, math.NaN(), math.Inf(1), 2, 3}
+	y := []float64{1, 1, 1, 1, 1, math.NaN(), 1}
+	res, skipped := Residuals(fit, x, y)
+	if len(res) != 2 || skipped != 5 {
+		t.Fatalf("got %d residuals, %d skipped; want 2, 5", len(res), skipped)
+	}
+	if len(res)+skipped != len(x) {
+		t.Fatalf("residuals+skipped=%d must equal len(x)=%d", len(res)+skipped, len(x))
 	}
 }

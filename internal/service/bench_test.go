@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -47,4 +48,53 @@ func BenchmarkServiceAnalyzeCached(b *testing.B) {
 			b.ReportMetric(float64(cold)/float64(cached), "cold-over-cached-x")
 		}
 	}
+}
+
+// BenchmarkPredictServe gauges the model-serving path: a server booted
+// with a model directory answers stats-only predictions by evaluating
+// the fitted log model — no field upload, no analysis, no training.
+// Each iteration varies the statistic so every request misses the
+// result cache and actually runs the model; ns/op is therefore the
+// full serve cost (routing + model evaluation + interval + JSON),
+// which must stay microsecond-scale. For contrast, the cost of the
+// first prediction on a server WITHOUT a model directory — the lazy
+// training the model artifact spares every fleet member — is reported
+// as lazy-train-ms.
+func BenchmarkPredictServe(b *testing.B) {
+	dir := b.TempDir()
+	writeTestModel(b, dir, "m2.json", 2)
+	s := New(Config{ModelDir: dir})
+	defer s.Close()
+	h := s.Handler()
+
+	do := func(url string) int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, url, nil)
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("/v1/predict?stat=%d.5&eb=0.001&interval=1", 2+i%1000)
+		if code := do(url); code != http.StatusOK {
+			b.Fatalf("predict: %d", code)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.TrainRuns != 0 {
+		b.Fatalf("model serving trained %d times, want 0", st.TrainRuns)
+	}
+
+	// The lazy-train contrast: one cold prediction with no model dir.
+	s2 := New(Config{TrainEdge2D: 64, TrainFields: 6})
+	defer s2.Close()
+	h2 := s2.Handler()
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h2.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict?stat=8.5&eb=0.001", nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("lazy predict: %d", rec.Code)
+	}
+	b.ReportMetric(float64(time.Since(start).Microseconds())/1e3, "lazy-train-ms")
 }

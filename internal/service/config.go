@@ -78,6 +78,15 @@ type Config struct {
 	// DataDir is the server-side dataset directory for ?dataset=name
 	// references; empty disables the feature. Env CORRCOMPD_DATA_DIR.
 	DataDir string
+	// ModelDir is a directory of persisted predictor models
+	// (lossycorr-model/v1 JSON, written by corrcomp predict -save or
+	// core.SavePredictor). Every *.json file is loaded at boot and
+	// served by /v1/predict without training, so a fleet can answer
+	// predictions in microseconds from a shared model artifact. Files
+	// that fail to load are reported in GET /v1/models (the server
+	// still boots). Empty disables the feature.
+	// Env CORRCOMPD_MODEL_DIR.
+	ModelDir string
 	// StatsPeriod is the interval of the periodic stats log line in
 	// Run; 0 disables it. Env CORRCOMPD_STATS_PERIOD (Go duration);
 	// default 1m.
@@ -138,6 +147,7 @@ func FromEnv(getenv func(string) string) (Config, error) {
 	var c Config
 	c.Addr = getenv("CORRCOMPD_ADDR")
 	c.DataDir = getenv("CORRCOMPD_DATA_DIR")
+	c.ModelDir = getenv("CORRCOMPD_MODEL_DIR")
 	for _, v := range []struct {
 		name string
 		dst  *int

@@ -96,6 +96,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/analyze", s.syncHandler("analyze"))
 	mux.HandleFunc("POST /v1/measure", s.syncHandler("measure"))
 	mux.HandleFunc("POST /v1/predict", s.syncHandler("predict"))
@@ -513,20 +514,149 @@ type measureResult struct {
 }
 
 type predictResult struct {
-	Shape          []int           `json:"shape"`
+	// Shape is the uploaded field's shape; empty on the stats-only
+	// (?stat=) path, which never sees a field.
+	Shape          []int           `json:"shape,omitempty"`
 	Stats          core.Statistics `json:"stats"`
 	ErrorBound     float64         `json:"errorBound"`
 	Compressor     string          `json:"compressor"`
 	PredictedRatio float64         `json:"predictedRatio"`
+	// Lo and Hi bracket PredictedRatio with the model's t-based
+	// prediction interval at Level when ?interval=1 was requested.
+	Lo    *float64 `json:"lo,omitempty"`
+	Hi    *float64 `json:"hi,omitempty"`
+	Level float64  `json:"level,omitempty"`
+	// ModelKey is the content address of the predictor that answered:
+	// the model file's hash for boot-loaded models, the training canon's
+	// hash for lazily trained ones.
+	ModelKey string `json:"modelKey,omitempty"`
 	// Selected is true when the server chose the compressor (no
 	// ?codec= was given) rather than scoring a requested one.
 	Selected bool `json:"selected"`
+}
+
+// parsePredictParams validates the option set shared by the field and
+// stats-only predict paths. A requested codec is checked against
+// whatever will serve the request: the boot-loaded model's own fit set
+// when one covers (rank, eb) — model files may carry codec names the
+// built-in registry has never heard of — or the registry the lazy
+// trainer draws from otherwise.
+func (s *Server) parsePredictParams(q url.Values, rank int) (eb float64, codec string, interval bool, err error) {
+	if eb, err = queryFloat(q, "eb", 1e-3); err != nil {
+		return
+	}
+	if eb <= 0 {
+		err = apiErrorf(http.StatusBadRequest, "eb must be > 0, got %g", eb)
+		return
+	}
+	codec = q.Get("codec")
+	if codec != "" {
+		if pred, _, ok := s.models.lookup(rank, eb); ok {
+			if _, has := pred.Fit(codec, eb); !has {
+				err = apiErrorf(http.StatusBadRequest,
+					"serving model has no codec %q at eb=%g (have %v)", codec, eb, pred.Models())
+				return
+			}
+		} else if _, cerr := core.DefaultRegistry().GetFor(codec, rank); cerr != nil {
+			err = apiErrorf(http.StatusBadRequest, "%v", cerr)
+			return
+		}
+	}
+	interval, err = queryBool(q, "interval", false)
+	return
+}
+
+// modelCanon is the serving-model component of a predict cache key:
+// the boot-loaded model's content address when one serves (rank, eb),
+// the training canon otherwise. The boot registry is immutable after
+// New, so the choice is stable for the process lifetime and cached
+// predict responses can never alias across serving models.
+func (s *Server) modelCanon(rank int, eb float64) string {
+	if _, key, ok := s.models.lookup(rank, eb); ok {
+		return "model=" + key
+	}
+	return s.trainCanon(rank, eb)
+}
+
+// predictOutcome scores (or selects) a compressor from
+// already-computed statistics — the shared tail of both predict paths.
+func predictOutcome(pred *core.Predictor, modelKey string, eb float64, codec string, interval bool, stats core.Statistics) (predictResult, error) {
+	res := predictResult{Stats: stats, ErrorBound: eb, ModelKey: modelKey}
+	if codec == "" {
+		sel, err := pred.SelectCompressor(eb, stats)
+		if err != nil {
+			return predictResult{}, err
+		}
+		res.Compressor, res.PredictedRatio, res.Selected = sel.Compressor, sel.Predicted, true
+	} else {
+		ratio, err := pred.PredictRatio(codec, eb, stats)
+		if err != nil {
+			return predictResult{}, err
+		}
+		res.Compressor, res.PredictedRatio = codec, ratio
+	}
+	if interval {
+		p, err := pred.PredictRatioInterval(res.Compressor, eb, stats, 0)
+		if err != nil {
+			return predictResult{}, err
+		}
+		lo, hi := p.Lo, p.Hi
+		res.Lo, res.Hi, res.Level = &lo, &hi, p.Level
+	}
+	return res, nil
+}
+
+// buildStatPredictSpec builds the body-less predict spec: the client
+// supplies the selected statistic directly (?stat=, already computed
+// by an earlier analyze or offline) and the server only evaluates the
+// fitted model — microseconds against a boot-loaded predictor, no
+// field upload, no analysis pipeline.
+func (s *Server) buildStatPredictSpec(q url.Values) (runSpec, error) {
+	stat, err := queryFloat(q, "stat", 0)
+	if err != nil {
+		return runSpec{}, err
+	}
+	if stat <= 0 {
+		return runSpec{}, apiErrorf(http.StatusBadRequest,
+			"stat must be > 0 (the log model is undefined at %g)", stat)
+	}
+	rank, err := queryInt(q, "ndim", 2)
+	if err != nil {
+		return runSpec{}, err
+	}
+	if rank != 2 && rank != 3 {
+		return runSpec{}, apiErrorf(http.StatusBadRequest,
+			"prediction supports ndim 2 and 3, got %d", rank)
+	}
+	eb, codec, interval, err := s.parsePredictParams(q, rank)
+	if err != nil {
+		return runSpec{}, err
+	}
+	canon := fmt.Sprintf("stat=%s|rank=%d|eb=%s|codec=%s|interval=%t|%s",
+		fmtFloat(stat), rank, fmtFloat(eb), codec, interval, s.modelCanon(rank, eb))
+	return runSpec{
+		kind: "predict",
+		key:  cacheKey("predict", canon, nil),
+		run: func(ctx context.Context) (any, error) {
+			pred, modelKey, err := s.predictor(ctx, rank, eb)
+			if err != nil {
+				return nil, err
+			}
+			stats := pred.Selector().WithValue(stat)
+			return predictOutcome(pred, modelKey, eb, codec, interval, stats)
+		},
+	}, nil
 }
 
 // buildSpec validates a request completely — options, field payload,
 // codec names — before any pipeline work, so every 4xx happens at
 // submit time and an admitted job can only fail on compute errors.
 func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) (runSpec, error) {
+	if kind == "predict" && r.URL.Query().Get("stat") != "" {
+		// Stats-only prediction: no field payload to resolve — the body,
+		// if any, is ignored.
+		return s.buildStatPredictSpec(r.URL.Query())
+	}
 	streamOK := kind == "analyze" && s.cfg.StreamBudget > 0
 	src, err := s.resolveField(w, r, streamOK)
 	if err != nil {
@@ -621,30 +751,22 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 			return runSpec{}, apiErrorf(http.StatusBadRequest,
 				"prediction supports rank 2 and 3 fields, got rank %d", rank)
 		}
-		eb, err := queryFloat(q, "eb", 1e-3)
+		eb, codec, interval, err := s.parsePredictParams(q, rank)
 		if err != nil {
 			return runSpec{}, err
-		}
-		if eb <= 0 {
-			return runSpec{}, apiErrorf(http.StatusBadRequest, "eb must be > 0, got %g", eb)
-		}
-		codec := q.Get("codec")
-		if codec != "" {
-			if _, err := core.DefaultRegistry().GetFor(codec, rank); err != nil {
-				return runSpec{}, apiErrorf(http.StatusBadRequest, "%v", err)
-			}
 		}
 		// The predictor regresses on the global range, so the target's
 		// local statistics are never needed.
 		p.skipLocal = true
 		aOpts := p.options(workers)
-		canon := p.canon() + "|eb=" + fmtFloat(eb) + "|codec=" + codec + "|" + s.trainCanon(rank, eb)
+		canon := fmt.Sprintf("%s|eb=%s|codec=%s|interval=%t|%s",
+			p.canon(), fmtFloat(eb), codec, interval, s.modelCanon(rank, eb))
 		return runSpec{
 			kind:      kind,
 			key:       cacheKey(kind, canon, src.digest),
 			peakBytes: predictedPeakBytes(u, p),
 			run: func(ctx context.Context) (any, error) {
-				pred, err := s.predictor(ctx, rank, eb)
+				pred, modelKey, err := s.predictor(ctx, rank, eb)
 				if err != nil {
 					return nil, err
 				}
@@ -652,20 +774,11 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 				if err != nil {
 					return nil, err
 				}
-				res := predictResult{Shape: shape, Stats: stats, ErrorBound: eb}
-				if codec != "" {
-					ratio, err := pred.PredictRatio(codec, eb, stats)
-					if err != nil {
-						return nil, err
-					}
-					res.Compressor, res.PredictedRatio = codec, ratio
-				} else {
-					sel, err := pred.SelectCompressor(eb, stats)
-					if err != nil {
-						return nil, err
-					}
-					res.Compressor, res.PredictedRatio, res.Selected = sel.Compressor, sel.Predicted, true
+				res, err := predictOutcome(pred, modelKey, eb, codec, interval, stats)
+				if err != nil {
+					return nil, err
 				}
+				res.Shape = shape
 				return res, nil
 			},
 		}, nil
@@ -739,23 +852,33 @@ func (s *Server) trainCanon(rank int, eb float64) string {
 	return fmt.Sprintf("train=%d|edge=%d|rank=%d|teb=%s", s.cfg.TrainFields, edge, rank, fmtFloat(eb))
 }
 
-// predictor returns the predictor for (rank, eb), training it on
-// first use. Training goes through the same cache + singleflight
-// layer as results, so concurrent first predictions train once and
-// the model is reused until evicted.
-func (s *Server) predictor(ctx context.Context, rank int, eb float64) (*core.Predictor, error) {
+// predictor returns the predictor serving (rank, eb) plus its content
+// address. A boot-loaded model from Config.ModelDir answers first —
+// that path never trains, so a fleet shipped a model artifact serves
+// predictions in microseconds. Otherwise the model is trained lazily
+// through the same cache + singleflight layer as results, so
+// concurrent first predictions train once and the model is reused
+// until evicted; completed trainings register in the /v1/models
+// listing (but never in the boot lookup table, which stays immutable).
+func (s *Server) predictor(ctx context.Context, rank int, eb float64) (*core.Predictor, string, error) {
+	if pred, key, ok := s.models.lookup(rank, eb); ok {
+		return pred, key, nil
+	}
+	key := cacheKey("train", s.trainCanon(rank, eb), nil)
 	spec := runSpec{
 		kind: "train",
-		key:  cacheKey("train", s.trainCanon(rank, eb), nil),
+		key:  key,
 		run: func(ctx context.Context) (any, error) {
 			return s.trainModel(ctx, rank, eb)
 		},
 	}
 	v, _, err := s.runCached(ctx, spec)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return v.(*core.Predictor), nil
+	pred := v.(*core.Predictor)
+	s.models.registerTrained(key, rank, pred)
+	return pred, key, nil
 }
 
 // trainModel fits one log-regression per codec at the requested bound
@@ -802,7 +925,19 @@ func (s *Server) trainModel(ctx context.Context, rank int, eb float64) (*core.Pr
 	if err != nil {
 		return nil, err
 	}
-	return core.TrainPredictor(ms, core.XGlobalRange)
+	pred, err := core.TrainPredictor(ms, core.XGlobalRange)
+	if err != nil {
+		return nil, err
+	}
+	edge := s.cfg.TrainEdge2D
+	if rank == 3 {
+		edge = s.cfg.TrainEdge3D
+	}
+	pred.SetProvenance(core.ModelProvenance{
+		Source: "train", Rank: rank, TrainFields: n, TrainEdge: edge,
+		Seed: trainSeed, Measurements: len(ms),
+	})
+	return pred, nil
 }
 
 // ---- sync + async handlers ---------------------------------------

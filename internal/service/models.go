@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"lossycorr/internal/core"
+)
+
+// ModelInfo is one entry of GET /v1/models: a predictor the server can
+// (or tried to) serve, with its content address and provenance. Boot
+// loads from Config.ModelDir produce source "file" entries — including
+// failed loads, which carry Error so a bad artifact is visible instead
+// of silently ignored. Lazily trained predictors register as source
+// "train" entries when their first training run completes.
+type ModelInfo struct {
+	// Key is the content address of the model: SHA-256 over the model
+	// file bytes for boot-loaded models, over the training canon for
+	// lazily trained ones. /v1/predict responses echo it as modelKey so
+	// a client can tell which artifact answered.
+	Key string `json:"key,omitempty"`
+	// Source is "file" (loaded from ModelDir) or "train" (lazy
+	// server-side training).
+	Source string `json:"source"`
+	// File is the base name of the originating model file, when any.
+	File string `json:"file,omitempty"`
+	// Rank is the field rank the model serves (2 or 3).
+	Rank int `json:"rank,omitempty"`
+	// Selector is the statistic the model regresses on (persistence
+	// name, e.g. "global-range").
+	Selector string `json:"selector,omitempty"`
+	// Models lists the (compressor, bound) pairs, Predictor.Models-style.
+	Models []string `json:"models,omitempty"`
+	// ErrorBounds lists the distinct bounds the model covers, ascending.
+	ErrorBounds []float64 `json:"errorBounds,omitempty"`
+	// Error is set on boot-load failures; such entries serve nothing.
+	Error string `json:"error,omitempty"`
+}
+
+type rankEB struct {
+	rank int
+	eb   float64
+}
+
+// modelRegistry indexes the predictors the server can serve without
+// training. The (rank, eb) lookup table is populated once at boot from
+// Config.ModelDir and never mutated afterwards, so the predict cache
+// canon derived from it is stable for the process lifetime — a cached
+// predict response can never alias across different serving models.
+// Lazily trained predictors are appended to the listing for
+// observability but deliberately kept out of the lookup table.
+type modelRegistry struct {
+	mu      sync.Mutex
+	entries []ModelInfo
+	serve   map[rankEB]*bootModel
+}
+
+type bootModel struct {
+	key  string
+	pred *core.Predictor
+}
+
+// loadModelDir reads every *.json file of dir into the registry.
+// Returns (loaded, failed) counts; per-file failures become Error
+// entries in the listing rather than boot failures.
+func (mr *modelRegistry) loadModelDir(dir string) (int, int) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		mr.mu.Lock()
+		mr.entries = append(mr.entries, ModelInfo{Source: "file", Error: fmt.Sprintf("reading model dir: %v", err)})
+		mr.mu.Unlock()
+		return 0, 1
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.Type().IsRegular() && strings.HasSuffix(de.Name(), ".json") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	loaded, failed := 0, 0
+	for _, name := range names {
+		info := mr.loadModelFile(dir, name)
+		mr.mu.Lock()
+		mr.entries = append(mr.entries, info)
+		mr.mu.Unlock()
+		if info.Error != "" {
+			failed++
+		} else {
+			loaded++
+		}
+	}
+	return loaded, failed
+}
+
+func (mr *modelRegistry) loadModelFile(dir, name string) ModelInfo {
+	info := ModelInfo{Source: "file", File: name}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		info.Error = err.Error()
+		return info
+	}
+	info.Key = cacheKey("model", "", raw)
+	p, err := core.LoadPredictor(strings.NewReader(string(raw)))
+	if err != nil {
+		info.Error = err.Error()
+		return info
+	}
+	prov := p.Provenance()
+	if prov.Rank != 2 && prov.Rank != 3 {
+		info.Error = fmt.Sprintf("model provenance rank %d (want 2 or 3); re-save with corrcomp predict -save", prov.Rank)
+		return info
+	}
+	info.Rank = prov.Rank
+	info.Selector = p.Selector().Key()
+	info.Models = p.Models()
+	info.ErrorBounds = p.ErrorBounds()
+	bm := &bootModel{key: info.Key, pred: p}
+	mr.mu.Lock()
+	if mr.serve == nil {
+		mr.serve = make(map[rankEB]*bootModel)
+	}
+	for _, eb := range info.ErrorBounds {
+		k := rankEB{prov.Rank, eb}
+		// First file wins on (rank, eb) collisions — files load in
+		// sorted name order, so the winner is deterministic.
+		if _, taken := mr.serve[k]; !taken {
+			mr.serve[k] = bm
+		}
+	}
+	mr.mu.Unlock()
+	return info
+}
+
+// lookup returns the boot-loaded predictor serving (rank, eb), if any.
+func (mr *modelRegistry) lookup(rank int, eb float64) (*core.Predictor, string, bool) {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	bm, ok := mr.serve[rankEB{rank, eb}]
+	if !ok {
+		return nil, "", false
+	}
+	return bm.pred, bm.key, true
+}
+
+// registerTrained appends a lazily trained predictor to the listing
+// (idempotently per key) so GET /v1/models shows everything the server
+// has in service, not just the boot set.
+func (mr *modelRegistry) registerTrained(key string, rank int, p *core.Predictor) {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	for _, e := range mr.entries {
+		if e.Key == key {
+			return
+		}
+	}
+	mr.entries = append(mr.entries, ModelInfo{
+		Key:         key,
+		Source:      "train",
+		Rank:        rank,
+		Selector:    p.Selector().Key(),
+		Models:      p.Models(),
+		ErrorBounds: p.ErrorBounds(),
+	})
+}
+
+// list snapshots the registry in registration order (boot files in
+// sorted name order, then lazy-train registrations in completion
+// order).
+func (mr *modelRegistry) list() []ModelInfo {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	out := make([]ModelInfo, len(mr.entries))
+	copy(out, mr.entries)
+	return out
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models := s.models.list()
+	if models == nil {
+		models = []ModelInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lossycorr/internal/compress"
+	"lossycorr/internal/core"
+)
+
+// writeTestModel trains a tiny synthetic predictor ("fast" and "tight"
+// codecs at eb 1e-3, regressing on the global range) and persists it
+// into dir as a lossycorr-model/v1 file the server can boot from.
+func writeTestModel(t testing.TB, dir, name string, rank int) {
+	t.Helper()
+	var ms []core.Measurement
+	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+		ms = append(ms, core.Measurement{
+			Stats: core.Statistics{GlobalRange: x},
+			Results: []compress.Result{
+				{Compressor: "fast", ErrorBound: 1e-3, Ratio: 1 + 2*math.Log(x)},
+				{Compressor: "tight", ErrorBound: 1e-3, Ratio: 3 + math.Log(x)},
+			},
+		})
+	}
+	p, err := core.TrainPredictor(ms, core.XGlobalRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetProvenance(core.ModelProvenance{Source: "train", Rank: rank, Measurements: len(ms)})
+	var buf bytes.Buffer
+	if err := core.SavePredictor(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type modelListing struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func TestModelDirBootListing(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, "m2.json", 2)
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := testServer(t, Config{ModelDir: dir})
+
+	var ml modelListing
+	if code := getJSON(t, hs.URL+"/v1/models", &ml); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	if len(ml.Models) != 2 {
+		t.Fatalf("listing %+v, want 2 entries (good + broken, .txt ignored)", ml.Models)
+	}
+	// Files load in sorted name order: broken.json before m2.json.
+	bad, good := ml.Models[0], ml.Models[1]
+	if bad.File != "broken.json" || bad.Error == "" || bad.Source != "file" {
+		t.Fatalf("broken entry %+v", bad)
+	}
+	if good.File != "m2.json" || good.Error != "" || good.Key == "" {
+		t.Fatalf("good entry %+v", good)
+	}
+	if good.Rank != 2 || good.Selector != "global-range" {
+		t.Fatalf("good entry provenance %+v", good)
+	}
+	if len(good.Models) != 2 || len(good.ErrorBounds) != 1 || good.ErrorBounds[0] != 1e-3 {
+		t.Fatalf("good entry coverage %+v", good)
+	}
+}
+
+// TestPredictServesBootModelWithoutTraining is the PR's acceptance
+// probe: with a model directory mounted, /v1/predict answers — with
+// interval bounds — while the train-run counter stays at zero.
+func TestPredictServesBootModelWithoutTraining(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, "m2.json", 2)
+	s, hs := testServer(t, Config{ModelDir: dir})
+
+	var ml modelListing
+	if code := getJSON(t, hs.URL+"/v1/models", &ml); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	bootKey := ml.Models[0].Key
+
+	// Stats-only path: no field upload, just the statistic.
+	var res predictResult
+	code, data := postBin(t, hs.URL+"/v1/predict?stat=12&eb=0.001&interval=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stat predict: %d %s", code, data)
+	}
+	decodeEnvelope(t, data, &res)
+	if !res.Selected || res.Compressor != "fast" {
+		t.Fatalf("selection %+v (fast wins above the e² crossover)", res)
+	}
+	if res.Stats.GlobalRange != 12 {
+		t.Fatalf("stats %+v, want the supplied statistic echoed", res.Stats)
+	}
+	if res.Lo == nil || res.Hi == nil {
+		t.Fatalf("interval missing: %+v", res)
+	}
+	if !(*res.Lo <= res.PredictedRatio && res.PredictedRatio <= *res.Hi) {
+		t.Fatalf("interval [%v, %v] does not bracket %v", *res.Lo, *res.Hi, res.PredictedRatio)
+	}
+	if res.Level != core.DefaultIntervalLevel {
+		t.Fatalf("level %v", res.Level)
+	}
+	if res.ModelKey != bootKey {
+		t.Fatalf("modelKey %q, want boot model %q", res.ModelKey, bootKey)
+	}
+	if len(res.Shape) != 0 {
+		t.Fatalf("stats-only predict reported a shape: %+v", res)
+	}
+
+	// Scoring a named codec, no interval: bounds stay absent.
+	code, data = postBin(t, hs.URL+"/v1/predict?stat=12&eb=0.001&codec=tight", nil)
+	if code != http.StatusOK {
+		t.Fatalf("codec predict: %d %s", code, data)
+	}
+	var scored predictResult
+	decodeEnvelope(t, data, &scored)
+	if scored.Selected || scored.Compressor != "tight" || scored.Lo != nil || scored.Hi != nil {
+		t.Fatalf("scored %+v", scored)
+	}
+	want := 3 + math.Log(12)
+	if math.Abs(scored.PredictedRatio-want) > 1e-6 {
+		t.Fatalf("tight at x=12: %v want ≈%v", scored.PredictedRatio, want)
+	}
+
+	// Field-upload path against the same boot model: analysis runs, but
+	// training still does not.
+	code, data = postBin(t, hs.URL+"/v1/predict?eb=0.001&codec=fast&interval=1", gaussBody(t, 64, 8, 11))
+	if code != http.StatusOK {
+		t.Fatalf("field predict: %d %s", code, data)
+	}
+	var fieldRes predictResult
+	decodeEnvelope(t, data, &fieldRes)
+	if fieldRes.ModelKey != bootKey || fieldRes.Lo == nil || fieldRes.Hi == nil {
+		t.Fatalf("field predict %+v", fieldRes)
+	}
+	if len(fieldRes.Shape) != 2 {
+		t.Fatalf("field predict shape %v", fieldRes.Shape)
+	}
+
+	if st := s.Stats(); st.TrainRuns != 0 {
+		t.Fatalf("trainRuns = %d, want 0 with a boot-loaded model", st.TrainRuns)
+	}
+
+	// The second identical stat request is a cache hit.
+	code, data = postBin(t, hs.URL+"/v1/predict?stat=12&eb=0.001&interval=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("repeat predict: %d %s", code, data)
+	}
+	if env := decodeEnvelope(t, data, nil); !env.Cached {
+		t.Fatal("identical stats-only predict missed the cache")
+	}
+}
+
+func TestPredictStatValidation(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, "m2.json", 2)
+	_, hs := testServer(t, Config{ModelDir: dir})
+	for _, q := range []string{
+		"stat=0&eb=0.001",             // log model undefined
+		"stat=-3&eb=0.001",            // log model undefined
+		"stat=bogus&eb=0.001",         // unparsable
+		"stat=12&eb=0",                // bad bound
+		"stat=12&eb=0.001&ndim=5",     // unsupported rank
+		"stat=12&eb=0.001&codec=nope", // unknown codec
+	} {
+		if code, data := postBin(t, hs.URL+"/v1/predict?"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("?%s: got %d (%s), want 400", q, code, data)
+		}
+	}
+	// A bound no model covers falls back to lazy training (the query is
+	// valid; the boot registry just cannot serve it), so it must not 400
+	// at submit time.
+	if code, _ := postBin(t, hs.URL+"/v1/predict?stat=12&eb=0.5&ndim=3", nil); code == http.StatusBadRequest {
+		t.Error("uncovered bound must not be a validation error")
+	}
+}
+
+// TestPredictLazyTrainRegistersModel covers the no-model-dir path: the
+// first prediction trains (once), the trained model appears in the
+// /v1/models listing as source "train", and the interval plumbing works
+// on lazily trained models too.
+func TestPredictLazyTrainRegistersModel(t *testing.T) {
+	s, hs := testServer(t, Config{TrainEdge2D: 64, TrainFields: 6})
+
+	var res predictResult
+	code, data := postBin(t, hs.URL+"/v1/predict?stat=8&eb=1e-3&interval=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %s", code, data)
+	}
+	decodeEnvelope(t, data, &res)
+	if !res.Selected || res.PredictedRatio <= 0 {
+		t.Fatalf("selection %+v", res)
+	}
+	if res.Lo == nil || res.Hi == nil || !(*res.Lo <= res.PredictedRatio && res.PredictedRatio <= *res.Hi) {
+		t.Fatalf("interval on lazy model %+v", res)
+	}
+	if res.ModelKey == "" {
+		t.Fatal("lazy prediction must report its model key")
+	}
+	if st := s.Stats(); st.TrainRuns != 1 {
+		t.Fatalf("trainRuns = %d, want 1", st.TrainRuns)
+	}
+
+	var ml modelListing
+	if code := getJSON(t, hs.URL+"/v1/models", &ml); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	if len(ml.Models) != 1 {
+		t.Fatalf("listing %+v, want the lazily trained model", ml.Models)
+	}
+	e := ml.Models[0]
+	if e.Source != "train" || e.Key != res.ModelKey || e.Rank != 2 || e.Error != "" {
+		t.Fatalf("trained entry %+v", e)
+	}
+
+	// A second bound trains again and appends a second entry.
+	if code, data := postBin(t, hs.URL+"/v1/predict?stat=8&eb=1e-2", nil); code != http.StatusOK {
+		t.Fatalf("second bound: %d %s", code, data)
+	}
+	if code := getJSON(t, hs.URL+"/v1/models", &ml); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	if len(ml.Models) != 2 {
+		t.Fatalf("listing %+v, want two trained models", ml.Models)
+	}
+}
+
+// TestModelsEmptyListing: no model dir, nothing trained yet.
+func TestModelsEmptyListing(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var ml modelListing
+	if code := getJSON(t, hs.URL+"/v1/models", &ml); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	if len(ml.Models) != 0 {
+		t.Fatalf("listing %+v, want empty", ml.Models)
+	}
+}

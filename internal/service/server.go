@@ -27,6 +27,14 @@ type Server struct {
 	flights flightGroup
 	queue   chan *job
 
+	// models indexes the predictors served by /v1/predict without
+	// training: boot-loaded from Config.ModelDir, listed by
+	// GET /v1/models. modelsLoaded/modelsFailed record the boot load
+	// outcome for Run's startup log line.
+	models       modelRegistry
+	modelsLoaded int
+	modelsFailed int
+
 	rootCtx context.Context
 	stop    context.CancelFunc
 	execWG  sync.WaitGroup
@@ -57,6 +65,9 @@ func New(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheEntries),
 		queue: make(chan *job, cfg.MaxQueue),
 		jobs:  make(map[string]*job),
+	}
+	if cfg.ModelDir != "" {
+		s.modelsLoaded, s.modelsFailed = s.models.loadModelDir(cfg.ModelDir)
 	}
 	s.rootCtx, s.stop = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Executors; i++ {
@@ -199,6 +210,9 @@ func (s *Server) Run(ctx context.Context) error {
 				}
 			}
 		}()
+	}
+	if s.cfg.ModelDir != "" {
+		s.logf("models: loaded %d, failed %d from %s", s.modelsLoaded, s.modelsFailed, s.cfg.ModelDir)
 	}
 	s.logf("corrcompd listening on %s", s.cfg.Addr)
 	err := hs.ListenAndServe()
