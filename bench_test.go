@@ -29,6 +29,7 @@ import (
 	"lossycorr/internal/grid"
 	"lossycorr/internal/hydro"
 	"lossycorr/internal/lossless"
+	"lossycorr/internal/parallel"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/szlike"
 	"lossycorr/internal/variogram"
@@ -343,7 +344,7 @@ func BenchmarkUnified3DPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if stats.GlobalRange <= 0 {
+		if stats.GlobalRange() <= 0 {
 			b.Fatal("degenerate analysis")
 		}
 		for _, name := range CompressorsFor(3) {
@@ -543,6 +544,42 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalyzeField pits the registry-driven kernel engine
+// (core.AnalyzeField: registry selection, Request.Opt maps, interface
+// dispatch per kernel, keyed result assembly) against a hand-wired
+// composition of the same three statistics through their direct
+// package entry points. The engine/direct ns/op ratio is the
+// indirection cost the kernel refactor is allowed to add: under 2%.
+func BenchmarkAnalyzeField(b *testing.B) {
+	g := bench512Field(b)
+	f := field.FromGrid(g)
+	w := runtime.NumCPU()
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeField(f, core.AnalysisOptions{Workers: w}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		vo := variogram.Options{Workers: w}
+		so := svdstat.Options{Frac: svdstat.DefaultVarianceFraction, Workers: w}
+		for i := 0; i < b.N; i++ {
+			var errG, errL, errS error
+			parallel.Do(w,
+				func() { _, errG = variogram.GlobalRangeField(f, vo) },
+				func() { _, errL = variogram.LocalRangeStdField(f, core.DefaultWindow, vo) },
+				func() { _, errS = svdstat.LocalStdField(f, core.DefaultWindow, so) },
+			)
+			for _, err := range []error{errG, errL, errS} {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkMeasureFieldsParallel sweeps worker counts over the batch

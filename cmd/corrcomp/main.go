@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -295,8 +296,10 @@ func cmdAnalyze(args []string) error {
 	vfft := fs.Bool("vfft", false, "FFT exact engine for the global variogram scan (real-input half-spectrum transforms; ~40% of the former complex-path memory)")
 	f32 := fs.Bool("f32", false, "run the float32 compute lane (a float64 input is narrowed first; float32 files use it automatically)")
 	membudget := fs.String("membudget", "", "out-of-core memory budget with optional k/m/g suffix (e.g. 64m); fields that do not fit are streamed in budget-sized tiles, bit-identical windowed statistics")
+	statsSel := fs.String("stats", "", "comma-separated statistic kernels to compute (e.g. variogram,svd); empty = all registered")
 	fs.Parse(args)
 
+	sel := splitStatsFlag(*statsSel)
 	if *membudget != "" {
 		budget, err := parseBytes(*membudget)
 		if err != nil {
@@ -305,7 +308,7 @@ func cmdAnalyze(args []string) error {
 		if *f32 {
 			return fmt.Errorf("-f32 cannot combine with -membudget: an out-of-core field runs on its stored lane")
 		}
-		return analyzeOutOfCore(*in, budget, *window, *workers, *gram, *vfft)
+		return analyzeOutOfCore(*in, budget, *window, *workers, *gram, *vfft, sel)
 	}
 
 	fld, n32, err := readFieldAny(*in)
@@ -321,6 +324,7 @@ func cmdAnalyze(args []string) error {
 	}
 	opts := lossycorr.AnalysisOptions{
 		Window: *window, Workers: *workers, SVDGram: gm, VariogramFFT: *vfft,
+		Stats: sel,
 	}
 	var stats lossycorr.Statistics
 	var shape []int
@@ -339,11 +343,55 @@ func cmdAnalyze(args []string) error {
 		lane = "float32"
 	}
 	fmt.Printf("field: %s (%s lane)\n", shapeString(shape), lane)
-	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
-	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
-	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, *window)
-	fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd, *window)
+	printStats(stats, *window)
 	return nil
+}
+
+// splitStatsFlag turns the -stats flag value into a kernel selection
+// (nil when the flag is unset, meaning all registered kernels).
+func splitStatsFlag(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var sel []string
+	for _, part := range strings.Split(v, ",") {
+		if name := strings.TrimSpace(part); name != "" {
+			sel = append(sel, name)
+		}
+	}
+	return sel
+}
+
+// printStats reports the computed statistics — only the ones actually
+// present in the result set (a -stats subset computes no others), with
+// any extra registered-kernel outputs after the paper's four.
+func printStats(stats lossycorr.Statistics, window int) {
+	if stats.Has(lossycorr.StatGlobalRange) {
+		fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange())
+	}
+	if stats.Has(lossycorr.StatGlobalSill) {
+		fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill())
+	}
+	if stats.Has(lossycorr.StatLocalRangeStd) {
+		fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd(), window)
+	}
+	if stats.Has(lossycorr.StatLocalSVDStd) {
+		fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd(), window)
+	}
+	builtin := map[string]bool{
+		lossycorr.StatGlobalRange: true, lossycorr.StatGlobalSill: true,
+		lossycorr.StatLocalRangeStd: true, lossycorr.StatLocalSVDStd: true,
+	}
+	var extra []string
+	for k := range stats {
+		if !builtin[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		fmt.Printf("%s: %.4f\n", k, stats[k])
+	}
 }
 
 // parseBytes parses a byte count with an optional k/m/g suffix
@@ -372,7 +420,7 @@ func parseBytes(s string) (int64, error) {
 
 // analyzeOutOfCore runs analyze through the tile-streaming reader under
 // a transform-pool byte budget, reporting the observed peak against it.
-func analyzeOutOfCore(in string, budget int64, window, workers int, gram, vfft bool) error {
+func analyzeOutOfCore(in string, budget int64, window, workers int, gram, vfft bool, sel []string) error {
 	tr, err := lossycorr.OpenFieldTilesMapped(in, 1<<31)
 	if err != nil {
 		return err
@@ -384,7 +432,7 @@ func analyzeOutOfCore(in string, budget int64, window, workers int, gram, vfft b
 	}
 	opts := lossycorr.AnalysisOptions{
 		Window: window, Workers: workers, SVDGram: gm, VariogramFFT: vfft,
-		MemBudget: budget,
+		MemBudget: budget, Stats: sel,
 	}
 	lossycorr.ResetTransformPeakBytes()
 	stats, err := lossycorr.AnalyzeReader(tr, opts)
@@ -397,10 +445,7 @@ func analyzeOutOfCore(in string, budget int64, window, workers int, gram, vfft b
 		lane = "float32"
 	}
 	fmt.Printf("field: %s (%s lane, out-of-core)\n", shapeString(tr.Shape()), lane)
-	fmt.Printf("estimated global variogram range: %.4f\n", stats.GlobalRange)
-	fmt.Printf("fitted sill:                      %.4f\n", stats.GlobalSill)
-	fmt.Printf("std of local variogram ranges:    %.4f (H=%d)\n", stats.LocalRangeStd, window)
-	fmt.Printf("std of local SVD truncation:      %.4f (H=%d)\n", stats.LocalSVDStd, window)
+	printStats(stats, window)
 	verdict := "ok"
 	if peak > budget {
 		verdict = "OVER"
@@ -645,7 +690,7 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	fmt.Printf("estimated range %.3f → selected %s (predicted CR %.2f [%.2f, %.2f] at %g%% PI)\n",
-		stats.GlobalRange, sel.Compressor, pred.Ratio, pred.Lo, pred.Hi, pred.Level*100)
+		stats.GlobalRange(), sel.Compressor, pred.Ratio, pred.Lo, pred.Hi, pred.Level*100)
 	res, err := lossycorr.MeasureField(sel.Compressor, target, *eb)
 	if err != nil {
 		return err

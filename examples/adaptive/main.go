@@ -68,6 +68,6 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  range≈%5.2f → %-11s predicted CR %6.2f, measured CR %6.2f\n",
-			stats.GlobalRange, sel.Compressor, sel.Predicted, actual.Ratio)
+			stats.GlobalRange(), sel.Compressor, sel.Predicted, actual.Ratio)
 	}
 }

@@ -46,7 +46,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%4g+%-5g %12.3f %12.3f %12.2f\n",
-			pairs[i][0], pairs[i][1], m.Stats.GlobalRange, m.Stats.LocalRangeStd, szCR)
+			pairs[i][0], pairs[i][1], m.Stats.GlobalRange(), m.Stats.LocalRangeStd(), szCR)
 	}
 
 	fmt.Println("\nexplanatory power of each statistic (R² of CR = α + β·log x):")

@@ -25,9 +25,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("estimated global variogram range: %.2f (true: 16)\n", stats.GlobalRange)
-	fmt.Printf("std of local variogram ranges:    %.2f\n", stats.LocalRangeStd)
-	fmt.Printf("std of local SVD truncation:      %.2f\n\n", stats.LocalSVDStd)
+	fmt.Printf("estimated global variogram range: %.2f (true: 16)\n", stats.GlobalRange())
+	fmt.Printf("std of local variogram ranges:    %.2f\n", stats.LocalRangeStd())
+	fmt.Printf("std of local SVD truncation:      %.2f\n\n", stats.LocalSVDStd())
 
 	// 3. Compression ratios per compressor and error bound.
 	fmt.Printf("%-11s", "eb")

@@ -35,7 +35,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%8.3f %10.3f %10.3f %10.3f %12.2f %12.2f\n",
-			times[i], stats.GlobalRange, stats.LocalRangeStd, stats.LocalSVDStd,
+			times[i], stats.GlobalRange(), stats.LocalRangeStd(), stats.LocalSVDStd(),
 			sz.Ratio, zfp.Ratio)
 	}
 	fmt.Println("\nlater snapshots are more turbulent: shorter correlation")

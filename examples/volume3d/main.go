@@ -48,7 +48,7 @@ func main() {
 		}
 
 		fmt.Printf("%10.1f %12.3f %12.3f %12.3f %12.2f %14.3f\n",
-			rang, stats.GlobalRange, stats.LocalRangeStd, stats.LocalSVDStd,
+			rang, stats.GlobalRange(), stats.LocalRangeStd(), stats.LocalSVDStd(),
 			res.Ratio, m2.Range)
 		fields = append(fields, f)
 		labels = append(labels, rang)

@@ -13,12 +13,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/mgardlike"
 	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/szlike"
 	"lossycorr/internal/variogram"
@@ -28,32 +30,89 @@ import (
 // DefaultWindow is the paper's H=32 local-statistics window.
 const DefaultWindow = 32
 
-// Statistics are the paper's three correlation statistics for a field.
-// The JSON field names are the service layer's wire contract.
-type Statistics struct {
-	GlobalRange   float64 `json:"globalRange"`   // estimated global variogram range (Figures 3, 4)
-	GlobalSill    float64 `json:"globalSill"`    // fitted sill (≈ field variance)
-	LocalRangeStd float64 `json:"localRangeStd"` // std of local variogram ranges, H windows (Figure 5, 7-left)
-	LocalSVDStd   float64 `json:"localSVDStd"`   // std of local SVD truncation levels (Figure 6, 7-right)
+// The built-in statistic kernels register here, in the order that
+// fixes the default run order and error precedence (global variogram,
+// then local variogram, then local SVD — the historical analysis
+// order). Additional kernels register themselves from their own
+// package init; nothing in core needs to change for them to become
+// selectable and listable.
+func init() {
+	stat.MustRegister(variogram.RangeKernel{})
+	stat.MustRegister(variogram.LocalRangeKernel{})
+	stat.MustRegister(svdstat.LevelKernel{})
+}
+
+// Result keys of the built-in kernels. The strings are the service
+// layer's wire contract (JSON object keys) and the Statistics map
+// keys.
+const (
+	StatGlobalRange   = "globalRange"   // estimated global variogram range (Figures 3, 4)
+	StatGlobalSill    = "globalSill"    // fitted sill (≈ field variance)
+	StatLocalRangeStd = "localRangeStd" // std of local variogram ranges, H windows (Figure 5, 7-left)
+	StatLocalSVDStd   = "localSVDStd"   // std of local SVD truncation levels (Figure 6, 7-right)
+)
+
+// Statistics is the keyed result set of an analysis: one entry per
+// output of each kernel that ran. Statistics that were not computed
+// (deselected kernels, SkipLocal) are absent — not zero values
+// masquerading as results — and marshal as absent JSON keys. The
+// accessor methods read the built-in kernels' outputs, returning 0
+// when absent.
+type Statistics map[string]float64
+
+// GlobalRange is the estimated global variogram range.
+func (s Statistics) GlobalRange() float64 { return s[StatGlobalRange] }
+
+// GlobalSill is the fitted sill (≈ field variance).
+func (s Statistics) GlobalSill() float64 { return s[StatGlobalSill] }
+
+// LocalRangeStd is the std of local variogram ranges over H-windows.
+func (s Statistics) LocalRangeStd() float64 { return s[StatLocalRangeStd] }
+
+// LocalSVDStd is the std of local SVD truncation levels.
+func (s Statistics) LocalSVDStd() float64 { return s[StatLocalSVDStd] }
+
+// Has reports whether the statistic under key was computed.
+func (s Statistics) Has(key string) bool {
+	_, ok := s[key]
+	return ok
+}
+
+// Equal reports whether two result sets carry exactly the same keys
+// and bits (NaNs compare equal to themselves, so a degenerate
+// statistic still round-trips).
+func (s Statistics) Equal(o Statistics) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		w, ok := o[k]
+		if !ok || math.Float64bits(v) != math.Float64bits(w) {
+			return false
+		}
+	}
+	return true
 }
 
 // MarshalJSON clamps non-finite statistics to the same sentinels
 // compress.Result uses for PSNR (±1e308 for infinities, 0 for NaN): a
 // degenerate field (e.g. constant values) can produce NaN or Inf here,
 // which encoding/json rejects, and a marshal failure inside a handler
-// would otherwise truncate an already-committed response.
+// would otherwise truncate an already-committed response. Keys marshal
+// in sorted order (encoding/json's map behavior), keeping responses
+// and cache digests deterministic.
 func (s Statistics) MarshalJSON() ([]byte, error) {
-	type wire Statistics // drop the method to avoid recursion
-	w := wire(s)
-	for _, p := range []*float64{&w.GlobalRange, &w.GlobalSill, &w.LocalRangeStd, &w.LocalSVDStd} {
+	w := make(map[string]float64, len(s))
+	for k, v := range s {
 		switch {
-		case math.IsInf(*p, 1):
-			*p = 1e308
-		case math.IsInf(*p, -1):
-			*p = -1e308
-		case math.IsNaN(*p):
-			*p = 0
+		case math.IsInf(v, 1):
+			v = 1e308
+		case math.IsInf(v, -1):
+			v = -1e308
+		case math.IsNaN(v):
+			v = 0
 		}
+		w[k] = v
 	}
 	return json.Marshal(w)
 }
@@ -101,6 +160,14 @@ type AnalysisOptions struct {
 	// (pair counts exact, Gamma tolerance-equivalent). <= 0 means no
 	// budget: always slurp. In-RAM entry points ignore this field.
 	MemBudget int64
+	// Stats selects the statistics to compute, by registered kernel
+	// name (stat.Names; built-ins: "variogram", "localrange", "svd").
+	// Empty means every registered kernel. Selection never changes a
+	// kernel's arithmetic or the run's ordering contract — kernels
+	// always run in registration order — only which results are present
+	// in the Statistics map. Unknown names fail the analysis before any
+	// work starts.
+	Stats []string
 }
 
 func (o AnalysisOptions) withDefaults() AnalysisOptions {
@@ -140,7 +207,54 @@ func AnalyzeField(f *field.Field, opts AnalysisOptions) (Statistics, error) {
 // the context is dead the per-statistic errors are all cancellations
 // anyway, and reporting ctx.Err() keeps the outcome deterministic.
 func AnalyzeFieldCtx(ctx context.Context, f *field.Field, opts AnalysisOptions) (Statistics, error) {
+	return analyzeSource(ctx, stat.Source{F64: f}, opts)
+}
+
+// selectKernels resolves the options' statistic selection against the
+// registry, in registration order — which fixes run order and error
+// precedence regardless of how the selection is spelled. SkipLocal
+// drops windowed kernels from the selection (the historical
+// global-only cheap path).
+func selectKernels(o AnalysisOptions) ([]stat.Kernel, error) {
+	var want map[string]bool
+	if len(o.Stats) > 0 {
+		want = make(map[string]bool, len(o.Stats))
+		for _, name := range o.Stats {
+			if _, ok := stat.Lookup(name); !ok {
+				return nil, fmt.Errorf("unknown statistic %q (registered: %s)",
+					name, strings.Join(stat.Names(), ", "))
+			}
+			want[name] = true
+		}
+	}
+	var ks []stat.Kernel
+	for _, k := range stat.Kernels() {
+		if want != nil && !want[k.Name()] {
+			continue
+		}
+		if o.SkipLocal && k.Caps().Windowed {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("empty statistic selection")
+	}
+	return ks, nil
+}
+
+// analyzeSource is the one analysis call behind every Analyze*
+// variant: it resolves the kernel selection, assembles per-kernel
+// options from AnalysisOptions, and hands the source to the stat
+// engine, which owns lane handling, streaming, cancellation, and
+// worker fan-out. Every (lane, source, ctx) combination of the old
+// variant matrix is one call here with a different stat.Source.
+func analyzeSource(ctx context.Context, src stat.Source, opts AnalysisOptions) (Statistics, error) {
 	o := opts.withDefaults()
+	kernels, err := selectKernels(o)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	vOpts := o.VariogramOpts
 	if vOpts.Workers == 0 {
 		vOpts.Workers = o.Workers
@@ -148,46 +262,25 @@ func AnalyzeFieldCtx(ctx context.Context, f *field.Field, opts AnalysisOptions) 
 	if o.VariogramFFT {
 		vOpts.FFT = true
 	}
-	var s Statistics
-	if o.SkipLocal {
-		m, err := variogram.GlobalRangeFieldCtx(ctx, f, vOpts)
-		if err != nil {
-			return s, fmt.Errorf("core: global variogram: %w", err)
-		}
-		s.GlobalRange = m.Range
-		s.GlobalSill = m.Sill
-		return s, nil
-	}
-	var (
-		model                 variogram.Model
-		gErr, localErr, svErr error
-	)
-	parallel.Do(o.Workers,
-		func() { model, gErr = variogram.GlobalRangeFieldCtx(ctx, f, vOpts) },
-		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStdFieldCtx(ctx, f, o.Window, vOpts) },
-		func() {
-			s.LocalSVDStd, svErr = svdstat.LocalStdFieldCtx(ctx, f, o.Window, svdstat.Options{
+	req := stat.Request{
+		Window:  o.Window,
+		Workers: o.Workers,
+		Opt: map[string]any{
+			"variogram":  vOpts,
+			"localrange": vOpts,
+			"svd": svdstat.Options{
 				Frac: o.VarianceFraction, Workers: o.Workers, Gram: o.SVDGram,
-			})
+			},
 		},
-	)
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return Statistics{}, err
+	}
+	res, err := stat.Run(ctx, src, kernels, req)
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	if gErr != nil {
-		return Statistics{}, fmt.Errorf("core: global variogram: %w", gErr)
-	}
-	if localErr != nil {
-		return Statistics{}, fmt.Errorf("core: local variogram: %w", localErr)
-	}
-	if svErr != nil {
-		return Statistics{}, fmt.Errorf("core: local svd: %w", svErr)
-	}
-	s.GlobalRange = model.Range
-	s.GlobalSill = model.Sill
-	return s, nil
+	return Statistics(res), nil
 }
 
 // DefaultRegistry returns the compressors of the study: the paper's
@@ -254,6 +347,24 @@ func MeasureFieldSet(name string, fields []*field.Field, labels []float64,
 // codec run or statistic unit and returns ctx.Err().
 func MeasureFieldSetCtx(ctx context.Context, name string, fields []*field.Field, labels []float64,
 	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
+	return measureSet(ctx, name, fields, labels, reg, opts, AnalyzeFieldCtx, compress.RunField)
+}
+
+// measureLane is the compute lane of a measurement: either the
+// float64 oracle fields or their float32 mirrors.
+type measureLane interface {
+	*field.Field | *field.Field32
+	NDim() int
+}
+
+// measureSet is the one measurement loop behind both lanes: analyze
+// and run are the lane's analysis entry point and codec runner, and
+// everything else — fan-out, ordering, error precedence, bound
+// checking — is shared.
+func measureSet[F measureLane](ctx context.Context, name string, fields []F, labels []float64,
+	reg *compress.Registry, opts MeasureOptions,
+	analyze func(context.Context, F, AnalysisOptions) (Statistics, error),
+	run func(compress.FieldCompressor, F, float64) (compress.Result, error)) ([]Measurement, error) {
 
 	ebs := opts.ErrorBounds
 	if ebs == nil {
@@ -266,7 +377,7 @@ func MeasureFieldSetCtx(ctx context.Context, name string, fields []*field.Field,
 	out := make([]Measurement, len(fields))
 	err := parallel.ForErrCtx(ctx, len(fields), opts.Workers, func(i int) error {
 		var err error
-		out[i], err = measureOne(ctx, name, i, fields[i], labels, reg, ebs, aOpts)
+		out[i], err = measureOne(ctx, name, i, fields[i], labels, reg, ebs, aOpts, analyze, run)
 		return err
 	})
 	if err != nil {
@@ -275,15 +386,17 @@ func MeasureFieldSetCtx(ctx context.Context, name string, fields []*field.Field,
 	return out, nil
 }
 
-func measureOne(ctx context.Context, name string, i int, f *field.Field, labels []float64,
-	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions) (Measurement, error) {
+func measureOne[F measureLane](ctx context.Context, name string, i int, f F, labels []float64,
+	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions,
+	analyze func(context.Context, F, AnalysisOptions) (Statistics, error),
+	run func(compress.FieldCompressor, F, float64) (compress.Result, error)) (Measurement, error) {
 
 	m := Measurement{Dataset: name, Index: i}
 	if i < len(labels) {
 		m.Label = labels[i]
 	}
 	var err error
-	m.Stats, err = AnalyzeFieldCtx(ctx, f, aOpts)
+	m.Stats, err = analyze(ctx, f, aOpts)
 	if err != nil {
 		return m, err
 	}
@@ -298,7 +411,7 @@ func measureOne(ctx context.Context, name string, i int, f *field.Field, labels 
 					return m, err
 				}
 			}
-			res, err := compress.RunField(c, f, eb)
+			res, err := run(c, f, eb)
 			if err != nil {
 				return m, fmt.Errorf("core: field %d: %w", i, err)
 			}

@@ -1,24 +1,22 @@
 package core
 
-// Float32 compute lane of the analysis and measurement pipeline. The
-// statistics mirror AnalyzeFieldCtx exactly: windowed statistics widen
-// each window into oracle precision during extraction (bit-identical
-// to the float64 path on the widened field), the direct variogram
-// scans accumulate in float64 (also bit-identical), and the FFT exact
-// engine runs the half-bandwidth float32 plane pipeline. Measurement
-// runs codecs through their native float32 lanes when they have one
-// (compress.Lane32Compressor) and through the widen→narrow fallback
-// otherwise — either way the bound is checked on float32 values.
+// Float32 compute lane of the analysis and measurement pipeline —
+// thin delegates into the shared engine. Analysis hands the stat
+// engine a float32 source (windowed statistics widen each window into
+// oracle precision during extraction, bit-identical to the float64
+// path on the widened field; the direct variogram scans accumulate in
+// float64; the FFT exact engine runs the half-bandwidth float32 plane
+// pipeline). Measurement runs codecs through their native float32
+// lanes when they have one (compress.Lane32Compressor) and through
+// the widen→narrow fallback otherwise — either way the bound is
+// checked on float32 values.
 
 import (
 	"context"
-	"fmt"
 
 	"lossycorr/internal/compress"
 	"lossycorr/internal/field"
-	"lossycorr/internal/parallel"
-	"lossycorr/internal/svdstat"
-	"lossycorr/internal/variogram"
+	"lossycorr/internal/stat"
 )
 
 // AnalyzeField32 extracts the correlation statistics of a float32
@@ -31,54 +29,7 @@ func AnalyzeField32(f *field.Field32, opts AnalysisOptions) (Statistics, error) 
 // AnalyzeField32Ctx is AnalyzeField32 with cooperative cancellation
 // threaded through every statistic, mirroring AnalyzeFieldCtx.
 func AnalyzeField32Ctx(ctx context.Context, f *field.Field32, opts AnalysisOptions) (Statistics, error) {
-	o := opts.withDefaults()
-	vOpts := o.VariogramOpts
-	if vOpts.Workers == 0 {
-		vOpts.Workers = o.Workers
-	}
-	if o.VariogramFFT {
-		vOpts.FFT = true
-	}
-	var s Statistics
-	if o.SkipLocal {
-		m, err := variogram.GlobalRangeField32Ctx(ctx, f, vOpts)
-		if err != nil {
-			return s, fmt.Errorf("core: global variogram: %w", err)
-		}
-		s.GlobalRange = m.Range
-		s.GlobalSill = m.Sill
-		return s, nil
-	}
-	var (
-		model                 variogram.Model
-		gErr, localErr, svErr error
-	)
-	parallel.Do(o.Workers,
-		func() { model, gErr = variogram.GlobalRangeField32Ctx(ctx, f, vOpts) },
-		func() { s.LocalRangeStd, localErr = variogram.LocalRangeStdField32Ctx(ctx, f, o.Window, vOpts) },
-		func() {
-			s.LocalSVDStd, svErr = svdstat.LocalStdField32Ctx(ctx, f, o.Window, svdstat.Options{
-				Frac: o.VarianceFraction, Workers: o.Workers, Gram: o.SVDGram,
-			})
-		},
-	)
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return Statistics{}, err
-		}
-	}
-	if gErr != nil {
-		return Statistics{}, fmt.Errorf("core: global variogram: %w", gErr)
-	}
-	if localErr != nil {
-		return Statistics{}, fmt.Errorf("core: local variogram: %w", localErr)
-	}
-	if svErr != nil {
-		return Statistics{}, fmt.Errorf("core: local svd: %w", svErr)
-	}
-	s.GlobalRange = model.Range
-	s.GlobalSill = model.Sill
-	return s, nil
+	return analyzeSource(ctx, stat.Source{F32: f}, opts)
 }
 
 // MeasureFieldSet32 analyzes and compresses every float32 field with
@@ -94,62 +45,7 @@ func MeasureFieldSet32(name string, fields []*field.Field32, labels []float64,
 // as the float64 pipeline.
 func MeasureFieldSet32Ctx(ctx context.Context, name string, fields []*field.Field32, labels []float64,
 	reg *compress.Registry, opts MeasureOptions) ([]Measurement, error) {
-
-	ebs := opts.ErrorBounds
-	if ebs == nil {
-		ebs = compress.PaperErrorBounds
-	}
-	aOpts := opts.Analysis
-	if aOpts.Workers == 0 {
-		aOpts.Workers = opts.Workers
-	}
-	out := make([]Measurement, len(fields))
-	err := parallel.ForErrCtx(ctx, len(fields), opts.Workers, func(i int) error {
-		var err error
-		out[i], err = measureOne32(ctx, name, i, fields[i], labels, reg, ebs, aOpts)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-func measureOne32(ctx context.Context, name string, i int, f *field.Field32, labels []float64,
-	reg *compress.Registry, ebs []float64, aOpts AnalysisOptions) (Measurement, error) {
-
-	m := Measurement{Dataset: name, Index: i}
-	if i < len(labels) {
-		m.Label = labels[i]
-	}
-	var err error
-	m.Stats, err = AnalyzeField32Ctx(ctx, f, aOpts)
-	if err != nil {
-		return m, err
-	}
-	codecs := reg.AllFor(f.NDim())
-	if len(codecs) == 0 {
-		return m, fmt.Errorf("core: field %d: no compressors registered for rank %d", i, f.NDim())
-	}
-	for _, c := range codecs {
-		for _, eb := range ebs {
-			if ctx != nil {
-				if err := ctx.Err(); err != nil {
-					return m, err
-				}
-			}
-			res, err := compress.RunField32(c, f, eb)
-			if err != nil {
-				return m, fmt.Errorf("core: field %d: %w", i, err)
-			}
-			if !res.BoundOK {
-				return m, fmt.Errorf("core: field %d: %s violated bound %g (max err %g)",
-					i, c.Name(), eb, res.MaxAbsError)
-			}
-			m.Results = append(m.Results, res)
-		}
-	}
-	return m, nil
+	return measureSet(ctx, name, fields, labels, reg, opts, AnalyzeField32Ctx, compress.RunField32)
 }
 
 // PredictField32 analyzes a float32 field and predicts its CR for a

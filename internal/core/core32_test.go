@@ -39,7 +39,7 @@ func TestAnalyzeField32MatchesOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != ex {
+	if !got.Equal(ex) {
 		t.Fatalf("float32 lane stats diverge:\n got %+v\nwant %+v", got, ex)
 	}
 }
@@ -57,8 +57,8 @@ func TestAnalyzeField32FFT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rel := math.Abs(got.GlobalRange-ex.GlobalRange) / ex.GlobalRange; rel > 1e-3 {
-		t.Fatalf("FFT lane range %v vs oracle %v (rel %g)", got.GlobalRange, ex.GlobalRange, rel)
+	if rel := math.Abs(got.GlobalRange()-ex.GlobalRange()) / ex.GlobalRange(); rel > 1e-3 {
+		t.Fatalf("FFT lane range %v vs oracle %v (rel %g)", got.GlobalRange(), ex.GlobalRange(), rel)
 	}
 }
 

@@ -27,14 +27,14 @@ func TestAnalyzeProducesAllStatistics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.GlobalRange <= 0 || s.GlobalSill <= 0 {
+	if s.GlobalRange() <= 0 || s.GlobalSill() <= 0 {
 		t.Fatalf("global stats %+v", s)
 	}
-	if s.LocalRangeStd < 0 || s.LocalSVDStd < 0 {
+	if s.LocalRangeStd() < 0 || s.LocalSVDStd() < 0 {
 		t.Fatalf("local stats %+v", s)
 	}
-	if s.GlobalRange < 4 || s.GlobalRange > 16 {
-		t.Fatalf("estimated range %v far from 8", s.GlobalRange)
+	if s.GlobalRange() < 4 || s.GlobalRange() > 16 {
+		t.Fatalf("estimated range %v far from 8", s.GlobalRange())
 	}
 }
 
@@ -44,7 +44,7 @@ func TestAnalyzeSkipLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.LocalRangeStd != 0 || s.LocalSVDStd != 0 {
+	if s.LocalRangeStd() != 0 || s.LocalSVDStd() != 0 {
 		t.Fatalf("local stats computed despite SkipLocal: %+v", s)
 	}
 }
@@ -91,8 +91,8 @@ func TestMeasureFieldsEndToEnd(t *testing.T) {
 	}
 	// the longer-range field must have a larger estimated range and a
 	// better sz-like ratio
-	if ms[0].Stats.GlobalRange >= ms[1].Stats.GlobalRange {
-		t.Fatalf("ranges not ordered: %v vs %v", ms[0].Stats.GlobalRange, ms[1].Stats.GlobalRange)
+	if ms[0].Stats.GlobalRange() >= ms[1].Stats.GlobalRange() {
+		t.Fatalf("ranges not ordered: %v vs %v", ms[0].Stats.GlobalRange(), ms[1].Stats.GlobalRange())
 	}
 	szCR := func(m Measurement) float64 {
 		for _, r := range m.Results {
@@ -125,7 +125,7 @@ func TestMeasureFieldsDeterministicAcrossWorkerCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if a[i].Stats != b[i].Stats {
+		if !a[i].Stats.Equal(b[i].Stats) {
 			t.Fatalf("worker count changed stats at %d", i)
 		}
 		for j := range a[i].Results {
@@ -139,14 +139,14 @@ func TestMeasureFieldsDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestBuildSeriesGrouping(t *testing.T) {
 	ms := []Measurement{
 		{
-			Stats: Statistics{GlobalRange: 4},
+			Stats: Statistics{StatGlobalRange: 4},
 			Results: []compress.Result{
 				{Compressor: "a", ErrorBound: 1e-3, Ratio: 10},
 				{Compressor: "b", ErrorBound: 1e-3, Ratio: 5},
 			},
 		},
 		{
-			Stats: Statistics{GlobalRange: 16},
+			Stats: Statistics{StatGlobalRange: 16},
 			Results: []compress.Result{
 				{Compressor: "a", ErrorBound: 1e-3, Ratio: 20},
 				{Compressor: "b", ErrorBound: 1e-3, Ratio: 6},
@@ -174,7 +174,7 @@ func TestBuildSeriesGrouping(t *testing.T) {
 }
 
 func TestStatSelectorValueAndString(t *testing.T) {
-	s := Statistics{GlobalRange: 1, LocalRangeStd: 2, LocalSVDStd: 3}
+	s := Statistics{StatGlobalRange: 1, StatLocalRangeStd: 2, StatLocalSVDStd: 3}
 	if XGlobalRange.Value(s) != 1 || XLocalRangeStd.Value(s) != 2 || XLocalSVDStd.Value(s) != 3 {
 		t.Fatal("selector values wrong")
 	}
@@ -188,13 +188,13 @@ func TestStatSelectorValueAndString(t *testing.T) {
 
 func TestPanelsByCompressorFilter(t *testing.T) {
 	ms := []Measurement{{
-		Stats: Statistics{GlobalRange: 4},
+		Stats: Statistics{StatGlobalRange: 4},
 		Results: []compress.Result{
 			{Compressor: "a", ErrorBound: 1e-3, Ratio: 10},
 			{Compressor: "a", ErrorBound: 1e-2, Ratio: 30},
 		},
 	}, {
-		Stats: Statistics{GlobalRange: 9},
+		Stats: Statistics{StatGlobalRange: 9},
 		Results: []compress.Result{
 			{Compressor: "a", ErrorBound: 1e-3, Ratio: 12},
 			{Compressor: "a", ErrorBound: 1e-2, Ratio: 40},
@@ -252,10 +252,10 @@ func TestSummarize(t *testing.T) {
 // clamped to the same sentinels compress.Result uses for PSNR.
 func TestStatisticsMarshalClampsNonFinite(t *testing.T) {
 	s := Statistics{
-		GlobalRange:   math.Inf(1),
-		GlobalSill:    math.Inf(-1),
-		LocalRangeStd: math.NaN(),
-		LocalSVDStd:   1.5,
+		StatGlobalRange:   math.Inf(1),
+		StatGlobalSill:    math.Inf(-1),
+		StatLocalRangeStd: math.NaN(),
+		StatLocalSVDStd:   1.5,
 	}
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -275,7 +275,7 @@ func TestStatisticsMarshalClampsNonFinite(t *testing.T) {
 	}
 
 	// Finite statistics must be unaffected by the clamping marshaller.
-	fin := Statistics{GlobalRange: 12.5, GlobalSill: 1, LocalRangeStd: 0.25, LocalSVDStd: 3}
+	fin := Statistics{StatGlobalRange: 12.5, StatGlobalSill: 1, StatLocalRangeStd: 0.25, StatLocalSVDStd: 3}
 	data, err = json.Marshal(fin)
 	if err != nil {
 		t.Fatal(err)
@@ -284,7 +284,7 @@ func TestStatisticsMarshalClampsNonFinite(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != fin {
+	if !back.Equal(fin) {
 		t.Fatalf("finite stats round trip: %+v != %+v", back, fin)
 	}
 }

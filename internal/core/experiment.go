@@ -37,16 +37,22 @@ func (s StatSelector) String() string {
 	}
 }
 
-// Value extracts the selected statistic.
-func (s StatSelector) Value(st Statistics) float64 {
+// StatKey is the Statistics map key of the selected statistic (Key is
+// the selector's persistence name — a different namespace).
+func (s StatSelector) StatKey() string {
 	switch s {
 	case XGlobalRange:
-		return st.GlobalRange
+		return StatGlobalRange
 	case XLocalRangeStd:
-		return st.LocalRangeStd
+		return StatLocalRangeStd
 	default:
-		return st.LocalSVDStd
+		return StatLocalSVDStd
 	}
+}
+
+// Value extracts the selected statistic.
+func (s StatSelector) Value(st Statistics) float64 {
+	return st[s.StatKey()]
 }
 
 // WithValue returns a Statistics carrying x as the selected statistic —
@@ -54,14 +60,7 @@ func (s StatSelector) Value(st Statistics) float64 {
 // corrcompd's stats-only predict path, where the client sends a cached
 // statistic instead of a field).
 func (s StatSelector) WithValue(x float64) Statistics {
-	switch s {
-	case XGlobalRange:
-		return Statistics{GlobalRange: x}
-	case XLocalRangeStd:
-		return Statistics{LocalRangeStd: x}
-	default:
-		return Statistics{LocalSVDStd: x}
-	}
+	return Statistics{s.StatKey(): x}
 }
 
 // Metric selects the y quantity of a series.

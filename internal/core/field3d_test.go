@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"lossycorr/internal/compress"
 	"lossycorr/internal/field"
 	"lossycorr/internal/gaussian"
 	"lossycorr/internal/variogram"
@@ -28,7 +29,7 @@ func TestAnalyzeVolumeSerialParallelIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ref.GlobalRange <= 0 || ref.LocalSVDStd < 0 {
+	if ref.GlobalRange() <= 0 || ref.LocalSVDStd() < 0 {
 		t.Fatalf("degenerate stats %+v", ref)
 	}
 	for _, w := range []int{2, 4, 16} {
@@ -37,7 +38,7 @@ func TestAnalyzeVolumeSerialParallelIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != ref {
+		if !got.Equal(ref) {
 			t.Fatalf("workers=%d: %+v want %+v", w, got, ref)
 		}
 	}
@@ -81,7 +82,7 @@ func TestMeasureFieldSetMixedRanks(t *testing.T) {
 	if !names3["sz-like-3d"] || !names3["zfp-like-3d"] || len(names3) != 2 {
 		t.Fatalf("3D field swept %v", names3)
 	}
-	if ms[1].Stats.GlobalRange <= 0 {
+	if ms[1].Stats.GlobalRange() <= 0 {
 		t.Fatalf("volume stats %+v", ms[1].Stats)
 	}
 }
@@ -108,7 +109,7 @@ func TestMeasureFieldSetSerialParallelIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range ref {
-		if got[i].Stats != ref[i].Stats {
+		if !got[i].Stats.Equal(ref[i].Stats) {
 			t.Fatalf("field %d stats differ: %+v vs %+v", i, got[i].Stats, ref[i].Stats)
 		}
 		for j := range ref[i].Results {
@@ -127,7 +128,7 @@ func TestPredictorFromVolumes(t *testing.T) {
 	for i, rang := range []float64{1.5, 2.5, 4, 6} {
 		f := testVolume(t, 16, rang, uint64(20+i))
 		m, err := measureOne(context.Background(), "train3d", i, f, nil, DefaultRegistry(),
-			[]float64{1e-3}, AnalysisOptions{SkipLocal: true})
+			[]float64{1e-3}, AnalysisOptions{SkipLocal: true}, AnalyzeFieldCtx, compress.RunField)
 		if err != nil {
 			t.Fatal(err)
 		}

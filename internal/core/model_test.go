@@ -19,7 +19,7 @@ func TestSelectCompressorNonPositiveStat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = p.SelectCompressor(1e-3, Statistics{GlobalRange: 0})
+	_, err = p.SelectCompressor(1e-3, Statistics{StatGlobalRange: 0})
 	if err == nil {
 		t.Fatal("non-positive statistic must error")
 	}
@@ -30,7 +30,7 @@ func TestSelectCompressorNonPositiveStat(t *testing.T) {
 		t.Fatalf("error %q misattributes the failure to missing models", err)
 	}
 	// A genuinely unknown bound still reports missing models.
-	_, err = p.SelectCompressor(42, Statistics{GlobalRange: 5})
+	_, err = p.SelectCompressor(42, Statistics{StatGlobalRange: 5})
 	if err == nil || !strings.Contains(err.Error(), "no models") {
 		t.Fatalf("unknown bound error %v", err)
 	}
@@ -43,7 +43,7 @@ func TestModelsCloseBounds(t *testing.T) {
 	var ms []Measurement
 	for _, x := range []float64{2, 4, 8, 16} {
 		ms = append(ms, Measurement{
-			Stats: Statistics{GlobalRange: x},
+			Stats: Statistics{StatGlobalRange: x},
 			Results: []compress.Result{
 				{Compressor: "fast", ErrorBound: 1e-3, Ratio: 1 + 2*math.Log(x)},
 				{Compressor: "fast", ErrorBound: 1.4e-3, Ratio: 2 + 2*math.Log(x)},
@@ -73,7 +73,7 @@ func TestTrainPredictorZeroFittableSeries(t *testing.T) {
 	var ms []Measurement
 	for i := 0; i < 4; i++ {
 		ms = append(ms, Measurement{
-			Stats:   Statistics{GlobalRange: -1},
+			Stats:   Statistics{StatGlobalRange: -1},
 			Results: []compress.Result{{Compressor: "fast", ErrorBound: 1e-3, Ratio: 2}},
 		})
 	}
@@ -114,7 +114,7 @@ func TestPredictRatioInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := p.PredictRatioInterval("fast", 1e-3, Statistics{GlobalRange: 10}, 0)
+	pred, err := p.PredictRatioInterval("fast", 1e-3, Statistics{StatGlobalRange: 10}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,17 +124,17 @@ func TestPredictRatioInterval(t *testing.T) {
 	if !(pred.Lo <= pred.Ratio && pred.Ratio <= pred.Hi) {
 		t.Fatalf("interval [%v, %v] does not bracket %v", pred.Lo, pred.Hi, pred.Ratio)
 	}
-	point, err := p.PredictRatio("fast", 1e-3, Statistics{GlobalRange: 10})
+	point, err := p.PredictRatio("fast", 1e-3, Statistics{StatGlobalRange: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pred.Ratio != point {
 		t.Fatalf("interval point %v diverges from PredictRatio %v", pred.Ratio, point)
 	}
-	if _, err := p.PredictRatioInterval("nope", 1e-3, Statistics{GlobalRange: 10}, 0); err == nil {
+	if _, err := p.PredictRatioInterval("nope", 1e-3, Statistics{StatGlobalRange: 10}, 0); err == nil {
 		t.Fatal("unknown compressor must error")
 	}
-	if _, err := p.PredictRatioInterval("fast", 7, Statistics{GlobalRange: 10}, 0); err == nil {
+	if _, err := p.PredictRatioInterval("fast", 7, Statistics{StatGlobalRange: 10}, 0); err == nil {
 		t.Fatal("unknown bound must error")
 	}
 	if _, err := p.PredictRatioInterval("fast", 1e-3, Statistics{}, 0); err == nil {
@@ -168,7 +168,7 @@ func TestSaveLoadBitEquality(t *testing.T) {
 	}
 	for _, comp := range []string{"fast", "tight"} {
 		for _, x := range []float64{1.5, math.E, 7.25, 33.3, 1e4} {
-			st := Statistics{GlobalRange: x}
+			st := Statistics{StatGlobalRange: x}
 			want, err := p.PredictRatio(comp, 1e-3, st)
 			if err != nil {
 				t.Fatal(err)

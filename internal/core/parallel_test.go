@@ -24,7 +24,7 @@ func TestAnalyzeSerialParallelIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if par != serial {
+		if !par.Equal(serial) {
 			t.Fatalf("workers=%d: %+v != serial %+v", workers, par, serial)
 		}
 	}
@@ -43,7 +43,7 @@ func TestAnalyzeSkipLocalHonorsWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if par != serial {
+	if !par.Equal(serial) {
 		t.Fatalf("SkipLocal results differ: %+v vs %+v", par, serial)
 	}
 }
@@ -83,7 +83,7 @@ func TestMeasureFieldsSerialParallelIdentical(t *testing.T) {
 		t.Fatalf("length mismatch %d vs %d", len(serial), len(par))
 	}
 	for i := range serial {
-		if serial[i].Stats != par[i].Stats {
+		if !serial[i].Stats.Equal(par[i].Stats) {
 			t.Fatalf("field %d stats differ: %+v vs %+v", i, serial[i].Stats, par[i].Stats)
 		}
 		if len(serial[i].Results) != len(par[i].Results) {

@@ -15,7 +15,7 @@ func syntheticMeasurements() []Measurement {
 	var ms []Measurement
 	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
 		ms = append(ms, Measurement{
-			Stats: Statistics{GlobalRange: x},
+			Stats: Statistics{StatGlobalRange: x},
 			Results: []compress.Result{
 				{Compressor: "fast", ErrorBound: 1e-3, Ratio: 1 + 2*math.Log(x)},
 				{Compressor: "tight", ErrorBound: 1e-3, Ratio: 3 + math.Log(x)},
@@ -33,7 +33,7 @@ func TestTrainPredictorAndPredict(t *testing.T) {
 	if len(p.Models()) != 2 {
 		t.Fatalf("models %v", p.Models())
 	}
-	got, err := p.PredictRatio("fast", 1e-3, Statistics{GlobalRange: math.E})
+	got, err := p.PredictRatio("fast", 1e-3, Statistics{StatGlobalRange: math.E})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,13 +47,13 @@ func TestPredictRatioErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.PredictRatio("nope", 1e-3, Statistics{GlobalRange: 2}); err == nil {
+	if _, err := p.PredictRatio("nope", 1e-3, Statistics{StatGlobalRange: 2}); err == nil {
 		t.Fatal("unknown model must error")
 	}
-	if _, err := p.PredictRatio("fast", 1e-9, Statistics{GlobalRange: 2}); err == nil {
+	if _, err := p.PredictRatio("fast", 1e-9, Statistics{StatGlobalRange: 2}); err == nil {
 		t.Fatal("unknown bound must error")
 	}
-	if _, err := p.PredictRatio("fast", 1e-3, Statistics{GlobalRange: 0}); err == nil {
+	if _, err := p.PredictRatio("fast", 1e-3, Statistics{StatGlobalRange: 0}); err == nil {
 		t.Fatal("non-positive statistic must error")
 	}
 }
@@ -64,21 +64,21 @@ func TestSelectCompressorCrossover(t *testing.T) {
 		t.Fatal(err)
 	}
 	// below the e² crossover "tight" wins, above it "fast" wins
-	low, err := p.SelectCompressor(1e-3, Statistics{GlobalRange: 2})
+	low, err := p.SelectCompressor(1e-3, Statistics{StatGlobalRange: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if low.Compressor != "tight" {
 		t.Fatalf("low selection %+v", low)
 	}
-	high, err := p.SelectCompressor(1e-3, Statistics{GlobalRange: 50})
+	high, err := p.SelectCompressor(1e-3, Statistics{StatGlobalRange: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if high.Compressor != "fast" {
 		t.Fatalf("high selection %+v", high)
 	}
-	if _, err := p.SelectCompressor(42, Statistics{GlobalRange: 2}); err == nil {
+	if _, err := p.SelectCompressor(42, Statistics{StatGlobalRange: 2}); err == nil {
 		t.Fatal("unknown bound must error")
 	}
 }
@@ -96,7 +96,7 @@ func TestPredictFieldEndToEnd(t *testing.T) {
 	for i, rang := range []float64{4, 8, 16, 32} {
 		g := smallField(t, rang, uint64(30+i))
 		m, err := measureOne(context.Background(), "train", i, field.FromGrid(g), nil, DefaultRegistry(),
-			[]float64{1e-3}, AnalysisOptions{SkipLocal: true})
+			[]float64{1e-3}, AnalysisOptions{SkipLocal: true}, AnalyzeFieldCtx, compress.RunField)
 		if err != nil {
 			t.Fatal(err)
 		}

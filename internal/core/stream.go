@@ -18,8 +18,7 @@ import (
 
 	"lossycorr/internal/fft"
 	"lossycorr/internal/field"
-	"lossycorr/internal/svdstat"
-	"lossycorr/internal/variogram"
+	"lossycorr/internal/stat"
 )
 
 // inRAMBytes estimates the working set of an in-RAM analysis of the
@@ -71,42 +70,8 @@ func AnalyzeReaderCtx(ctx context.Context, tr *field.TileReader, opts AnalysisOp
 		}
 		return AnalyzeFieldCtx(ctx, f64, o)
 	}
-	vOpts := o.VariogramOpts
-	if vOpts.Workers == 0 {
-		vOpts.Workers = o.Workers
-	}
-	if o.VariogramFFT {
-		vOpts.FFT = true
-	}
-	so := field.StreamOptions{BudgetBytes: o.MemBudget}
-	var s Statistics
-	m, err := variogram.GlobalRangeReaderCtx(ctx, tr, vOpts, so)
-	if err != nil {
-		if ctx != nil && ctx.Err() != nil {
-			return Statistics{}, ctx.Err()
-		}
-		return Statistics{}, fmt.Errorf("core: global variogram: %w", err)
-	}
-	s.GlobalRange = m.Range
-	s.GlobalSill = m.Sill
-	if o.SkipLocal {
-		return s, nil
-	}
-	s.LocalRangeStd, err = variogram.LocalRangeStdReaderCtx(ctx, tr, o.Window, vOpts, so)
-	if err != nil {
-		if ctx != nil && ctx.Err() != nil {
-			return Statistics{}, ctx.Err()
-		}
-		return Statistics{}, fmt.Errorf("core: local variogram: %w", err)
-	}
-	s.LocalSVDStd, err = svdstat.LocalStdReaderCtx(ctx, tr, o.Window, svdstat.Options{
-		Frac: o.VarianceFraction, Workers: o.Workers, Gram: o.SVDGram,
-	}, so)
-	if err != nil {
-		if ctx != nil && ctx.Err() != nil {
-			return Statistics{}, ctx.Err()
-		}
-		return Statistics{}, fmt.Errorf("core: local svd: %w", err)
-	}
-	return s, nil
+	return analyzeSource(ctx, stat.Source{
+		Reader: tr,
+		Stream: field.StreamOptions{BudgetBytes: o.MemBudget},
+	}, o)
 }

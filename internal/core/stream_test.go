@@ -64,7 +64,7 @@ func TestAnalyzeReaderOutOfCore(t *testing.T) {
 		t.Fatal(err)
 	}
 	peak := fft.PeakBytes()
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("streamed stats %+v != in-RAM %+v", got, want)
 	}
 	if peak > budget {
@@ -106,7 +106,7 @@ func TestAnalyzeReaderOutOfCoreFFT(t *testing.T) {
 		t.Fatalf("peak pool bytes %d exceed budget %d", peak, budget)
 	}
 	// Windowed statistics: bit-identical.
-	if got.LocalRangeStd != want.LocalRangeStd || got.LocalSVDStd != want.LocalSVDStd {
+	if got.LocalRangeStd() != want.LocalRangeStd() || got.LocalSVDStd() != want.LocalSVDStd() {
 		t.Fatalf("windowed stats differ: %+v vs %+v", got, want)
 	}
 	// Spectral global range: tolerance-equivalent.
@@ -124,7 +124,7 @@ func TestAnalyzeReaderOutOfCoreFFT(t *testing.T) {
 		}
 		return d / m
 	}
-	if relDiff(got.GlobalRange, want.GlobalRange) > 1e-6 || relDiff(got.GlobalSill, want.GlobalSill) > 1e-6 {
+	if relDiff(got.GlobalRange(), want.GlobalRange()) > 1e-6 || relDiff(got.GlobalSill(), want.GlobalSill()) > 1e-6 {
 		t.Fatalf("spectral global fit differs: %+v vs %+v", got, want)
 	}
 }
@@ -151,7 +151,7 @@ func TestAnalyzeReaderSlurp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("slurped stats %+v != direct %+v", got, want)
 	}
 
@@ -164,7 +164,7 @@ func TestAnalyzeReaderSlurp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got32 != want32 {
+	if !got32.Equal(want32) {
 		t.Fatalf("slurped f32 stats %+v != direct %+v", got32, want32)
 	}
 }
@@ -188,7 +188,7 @@ func TestAnalyzeReaderStreamF32(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("streamed f32 stats %+v != in-RAM %+v", got, want)
 	}
 }

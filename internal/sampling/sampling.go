@@ -5,9 +5,12 @@
 // increasingly accurate proxy for our metric." (Section VI.)
 //
 // Each estimator evaluates the windowed statistic on a random fraction
-// of the H×H windows instead of all of them; SweepFractions quantifies
-// the accuracy-versus-cost trade-off so users can pick an operating
-// point.
+// of the H×H windows instead of all of them, by handing the stat
+// engine a seeded selection of global window indices — the engine owns
+// extraction, fan-out, and fold order, and the per-window solves are
+// the registered kernels', so the sampled estimators stay bit-aligned
+// with the full sweeps by construction. SweepFractions quantifies the
+// accuracy-versus-cost trade-off so users can pick an operating point.
 package sampling
 
 import (
@@ -15,9 +18,10 @@ import (
 	"fmt"
 	"math"
 
+	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
-	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/variogram"
 	"lossycorr/internal/xrand"
@@ -44,21 +48,33 @@ func (o Options) fraction() float64 {
 	return f
 }
 
-// sampleWindows picks ceil(frac·total) windows uniformly at random.
-func sampleWindows(g *grid.Grid, h int, frac float64, seed uint64) []*grid.Grid {
-	type origin struct{ r0, c0 int }
-	var all []origin
-	g.Tiles(h, func(r0, c0 int, w *grid.Grid) {
-		all = append(all, origin{r0, c0})
-	})
+// sampleIndices picks ceil(frac·total) global window indices: the
+// window lattice's lexicographic order shuffled by the seed. The swap
+// sequence depends only on the window count and seed, so in-RAM and
+// out-of-core estimators select the same windows in the same order.
+func sampleIndices(total int, frac float64, seed uint64) []int {
+	all := make([]int, total)
+	for i := range all {
+		all[i] = i
+	}
 	rng := xrand.New(seed ^ 0x5a3b1e5a3b1e)
 	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	take := int(math.Ceil(frac * float64(len(all))))
-	out := make([]*grid.Grid, 0, take)
-	for _, o := range all[:take] {
-		out = append(out, g.Window(o.r0, o.c0, h, h))
+	take := int(math.Ceil(frac * float64(total)))
+	return all[:take]
+}
+
+// sampledStd sweeps the selected windows of src through k and folds
+// the kept values with sampling's own empty-set error.
+func sampledStd(ctx context.Context, src stat.Source, k stat.WindowKernel, h int, opts Options, kOpt any) (float64, error) {
+	sel := sampleIndices(field.NewWindowGrid(src.Shape(), h).Total(), opts.fraction(), opts.Seed)
+	vals, err := stat.Windows(ctx, src, k, h, opts.Workers, sel, kOpt)
+	if err != nil {
+		return 0, err
 	}
-	return out
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
+	}
+	return linalg.Std(vals), nil
 }
 
 // LocalRangeStd estimates the std of local variogram ranges from a
@@ -75,31 +91,10 @@ func LocalRangeStdCtx(ctx context.Context, g *grid.Grid, h int, opts Options) (f
 	if h < 4 {
 		return 0, fmt.Errorf("sampling: window %d too small", h)
 	}
-	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	ranges, err := parallel.FilterMapErrCtx(ctx, len(windows), opts.Workers, func(i int) (float64, bool, error) {
-		w := windows[i]
-		if w.Rows < 4 || w.Cols < 4 || w.Summary().Variance == 0 {
-			return 0, false, nil
-		}
-		// Workers: 1 — the sampled windows are the parallel axis; the
-		// per-window exact scan must not fan its bins out on top.
-		e, err := variogram.Compute(w, variogram.Options{Exact: true, Workers: 1})
-		if err != nil {
-			return 0, false, err
-		}
-		m, err := variogram.Fit(e)
-		if err != nil {
-			return 0, false, err
-		}
-		return m.Range, true, nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
-	}
-	return linalg.Std(ranges), nil
+	// The zero Options give the kernel's per-window solve: exact scan,
+	// serial (the sampled windows are the parallel axis), MaxLag from
+	// the clipped window's own extents.
+	return sampledStd(ctx, stat.Source{F64: field.FromGrid(g)}, variogram.LocalRangeKernel{}, h, opts, variogram.Options{})
 }
 
 // LocalSVDStd estimates the std of local SVD truncation levels from a
@@ -117,25 +112,10 @@ func LocalSVDStdCtx(ctx context.Context, g *grid.Grid, h int, frac float64, opts
 	if frac <= 0 || frac > 1 {
 		frac = svdstat.DefaultVarianceFraction
 	}
-	windows := sampleWindows(g, h, opts.fraction(), opts.Seed)
-	levels, err := parallel.FilterMapErrCtx(ctx, len(windows), opts.Workers, func(i int) (float64, bool, error) {
-		w := windows[i]
-		if w.Rows < 2 || w.Cols < 2 {
-			return 0, false, nil
-		}
-		k, err := svdstat.TruncationLevel(w, frac)
-		if err != nil {
-			return 0, false, err
-		}
-		return float64(k), true, nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	if len(levels) == 0 {
-		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
-	}
-	return linalg.Std(levels), nil
+	// GramOff pins the historical full-SVD arithmetic of the sampled
+	// estimator (TruncationLevel's reference path).
+	return sampledStd(ctx, stat.Source{F64: field.FromGrid(g)}, svdstat.LevelKernel{}, h, opts,
+		svdstat.Options{Frac: frac, Gram: svdstat.GramOff})
 }
 
 // SweepPoint is one accuracy measurement of the sampled estimator.

@@ -1,46 +1,22 @@
 package sampling
 
-// Out-of-core variants of the sampled estimators. The window selection
-// is reproduced index-for-index — Tiles enumerates origins row-major,
-// which is exactly the window lattice's lexicographic order, and the
-// shuffle's swap sequence depends only on the window count and seed —
-// so the sampled window set, its evaluation order, and every per-window
-// solve match the in-RAM estimators bit for bit. stream.Windows then
-// evaluates only the tiles holding sampled windows, so a small fraction
-// touches a correspondingly small part of the file.
+// Out-of-core variants of the sampled estimators, thin delegates into
+// the stat engine's Reader lane. The window selection is reproduced
+// index-for-index — sampleIndices' shuffle depends only on the window
+// count and seed — so the sampled window set, its evaluation order,
+// and every per-window solve match the in-RAM estimators bit for bit.
+// The engine evaluates only the tiles holding sampled windows, so a
+// small fraction touches a correspondingly small part of the file.
 
 import (
 	"context"
 	"fmt"
-	"math"
-	"sync"
 
 	"lossycorr/internal/field"
-	"lossycorr/internal/grid"
-	"lossycorr/internal/linalg"
-	"lossycorr/internal/stream"
+	"lossycorr/internal/stat"
 	"lossycorr/internal/svdstat"
 	"lossycorr/internal/variogram"
-	"lossycorr/internal/xrand"
 )
-
-// windowPool recycles per-window extraction buffers of the streaming
-// sampled estimators.
-var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
-
-// sampleIndices picks ceil(frac·total) global window indices with the
-// identical shuffle (and therefore identical selection, in identical
-// order) as sampleWindows.
-func sampleIndices(total int, frac float64, seed uint64) []int {
-	all := make([]int, total)
-	for i := range all {
-		all[i] = i
-	}
-	rng := xrand.New(seed ^ 0x5a3b1e5a3b1e)
-	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	take := int(math.Ceil(frac * float64(total)))
-	return all[:take]
-}
 
 // LocalRangeStdReaderCtx is the out-of-core LocalRangeStdCtx: the std
 // of local variogram ranges over the same sampled window subset,
@@ -53,34 +29,7 @@ func LocalRangeStdReaderCtx(ctx context.Context, tr *field.TileReader, h int, op
 	if tr.NDim() != 2 {
 		return 0, fmt.Errorf("sampling: rank-%d field; sampled estimators are 2D", tr.NDim())
 	}
-	sel := sampleIndices(field.NewWindowGrid(tr.Shape(), h).Total(), opts.fraction(), opts.Seed)
-	ranges, err := stream.Windows(ctx, tr, h, opts.Workers, so, sel,
-		func(block *field.Field, rel []int, hh int) (float64, bool, error) {
-			w := windowPool.Get().(*field.Field)
-			defer windowPool.Put(w)
-			block.WindowInto(w, rel, hh)
-			if w.Shape[0] < 4 || w.Shape[1] < 4 || w.Summary().Variance == 0 {
-				return 0, false, nil
-			}
-			// Workers: 1 — the sampled windows are the parallel axis; the
-			// per-window exact scan must not fan its bins out on top.
-			e, err := variogram.ComputeField(w, variogram.Options{Exact: true, Workers: 1})
-			if err != nil {
-				return 0, false, err
-			}
-			m, err := variogram.Fit(e)
-			if err != nil {
-				return 0, false, err
-			}
-			return m.Range, true, nil
-		})
-	if err != nil {
-		return 0, err
-	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
-	}
-	return linalg.Std(ranges), nil
+	return sampledStd(ctx, stat.Source{Reader: tr, Stream: so}, variogram.LocalRangeKernel{}, h, opts, variogram.Options{})
 }
 
 // LocalSVDStdReaderCtx is the out-of-core LocalSVDStdCtx: the std of
@@ -96,26 +45,6 @@ func LocalSVDStdReaderCtx(ctx context.Context, tr *field.TileReader, h int, frac
 	if frac <= 0 || frac > 1 {
 		frac = svdstat.DefaultVarianceFraction
 	}
-	sel := sampleIndices(field.NewWindowGrid(tr.Shape(), h).Total(), opts.fraction(), opts.Seed)
-	levels, err := stream.Windows(ctx, tr, h, opts.Workers, so, sel,
-		func(block *field.Field, rel []int, hh int) (float64, bool, error) {
-			w := windowPool.Get().(*field.Field)
-			defer windowPool.Put(w)
-			block.WindowInto(w, rel, hh)
-			if w.Shape[0] < 2 || w.Shape[1] < 2 {
-				return 0, false, nil
-			}
-			k, err := svdstat.TruncationLevel(&grid.Grid{Rows: w.Shape[0], Cols: w.Shape[1], Data: w.Data}, frac)
-			if err != nil {
-				return 0, false, err
-			}
-			return float64(k), true, nil
-		})
-	if err != nil {
-		return 0, err
-	}
-	if len(levels) == 0 {
-		return 0, fmt.Errorf("sampling: no usable windows at fraction %v", opts.fraction())
-	}
-	return linalg.Std(levels), nil
+	return sampledStd(ctx, stat.Source{Reader: tr, Stream: so}, svdstat.LevelKernel{}, h, opts,
+		svdstat.Options{Frac: frac, Gram: svdstat.GramOff})
 }

@@ -22,6 +22,7 @@ import (
 	"lossycorr/internal/fft"
 	"lossycorr/internal/field"
 	"lossycorr/internal/gaussian"
+	"lossycorr/internal/stat"
 	"lossycorr/internal/svdstat"
 )
 
@@ -374,12 +375,50 @@ type analysisParams struct {
 	vfft      bool
 	skipLocal bool
 	gram      bool
+	// stats is the kernel selection (?stats=variogram,svd), validated
+	// against the registry at parse time and normalized (sorted,
+	// deduplicated) so spelling order never splits the cache. Empty
+	// means every registered kernel.
+	stats []string
+}
+
+// parseStatsSelection validates and normalizes a ?stats= value. The
+// run order is fixed by the registry regardless of spelling, so the
+// canonical form is the sorted, deduplicated name set.
+func parseStatsSelection(v string) ([]string, error) {
+	if v == "" {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	names := make([]string, 0, 4)
+	for _, part := range strings.Split(v, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, ok := stat.Lookup(name); !ok {
+			return nil, apiErrorf(http.StatusBadRequest,
+				"unknown statistic %q (registered: %s)", name, strings.Join(stat.Names(), ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, apiErrorf(http.StatusBadRequest, "empty stats selection")
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 func parseAnalysisParams(q url.Values) (analysisParams, error) {
 	p := analysisParams{window: core.DefaultWindow, frac: svdstat.DefaultVarianceFraction, gram: true}
 	var err error
 	if p.window, err = queryInt(q, "window", p.window); err != nil {
+		return p, err
+	}
+	if p.stats, err = parseStatsSelection(q.Get("stats")); err != nil {
 		return p, err
 	}
 	if p.maxLag, err = queryInt(q, "maxlag", 0); err != nil {
@@ -457,8 +496,14 @@ func predictedPeakBytes(u uploadField, p analysisParams) int64 {
 }
 
 func (p analysisParams) canon() string {
-	return fmt.Sprintf("w=%d|lag=%d|frac=%s|vfft=%t|skip=%t|gram=%t",
+	c := fmt.Sprintf("w=%d|lag=%d|frac=%s|vfft=%t|skip=%t|gram=%t",
 		p.window, p.maxLag, fmtFloat(p.frac), p.vfft, p.skipLocal, p.gram)
+	// The selection joins the canon only when present, so every cache
+	// key minted before the stats option existed stays valid.
+	if len(p.stats) > 0 {
+		c += "|stats=" + strings.Join(p.stats, ",")
+	}
+	return c
 }
 
 func (p analysisParams) options(workers int) core.AnalysisOptions {
@@ -470,6 +515,7 @@ func (p analysisParams) options(workers int) core.AnalysisOptions {
 		Workers:          workers,
 	}
 	o.VariogramOpts.MaxLag = p.maxLag
+	o.Stats = p.stats
 	if !p.gram {
 		o.SVDGram = svdstat.GramOff
 	}
@@ -756,8 +802,10 @@ func (s *Server) buildSpec(kind string, w http.ResponseWriter, r *http.Request) 
 			return runSpec{}, err
 		}
 		// The predictor regresses on the global range, so the target's
-		// local statistics are never needed.
+		// local statistics are never needed — and any client-side stats
+		// selection is overridden; the model decides what it reads.
 		p.skipLocal = true
+		p.stats = nil
 		aOpts := p.options(workers)
 		canon := fmt.Sprintf("%s|eb=%s|codec=%s|interval=%t|%s",
 			p.canon(), fmtFloat(eb), codec, interval, s.modelCanon(rank, eb))

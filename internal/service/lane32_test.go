@@ -67,7 +67,7 @@ func TestAnalyzeFloat32Upload(t *testing.T) {
 	}
 	var ex analyzeResult
 	decodeEnvelope(t, data, &ex)
-	if got.Stats != ex.Stats {
+	if !got.Stats.Equal(ex.Stats) {
 		t.Fatalf("lane stats diverge:\n got %+v\nwant %+v", got.Stats, ex.Stats)
 	}
 	if s.Stats().AnalyzeRuns != 2 {

@@ -20,7 +20,7 @@ func writeTestModel(t testing.TB, dir, name string, rank int) {
 	var ms []core.Measurement
 	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
 		ms = append(ms, core.Measurement{
-			Stats: core.Statistics{GlobalRange: x},
+			Stats: core.Statistics{core.StatGlobalRange: x},
 			Results: []compress.Result{
 				{Compressor: "fast", ErrorBound: 1e-3, Ratio: 1 + 2*math.Log(x)},
 				{Compressor: "tight", ErrorBound: 1e-3, Ratio: 3 + math.Log(x)},
@@ -103,7 +103,7 @@ func TestPredictServesBootModelWithoutTraining(t *testing.T) {
 	if !res.Selected || res.Compressor != "fast" {
 		t.Fatalf("selection %+v (fast wins above the e² crossover)", res)
 	}
-	if res.Stats.GlobalRange != 12 {
+	if res.Stats.GlobalRange() != 12 {
 		t.Fatalf("stats %+v, want the supplied statistic echoed", res.Stats)
 	}
 	if res.Lo == nil || res.Hi == nil {

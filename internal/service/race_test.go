@@ -46,7 +46,7 @@ func TestConcurrentIdenticalSubmissionsSingleflight(t *testing.T) {
 		t.Fatalf("joined=%d hits=%d, want them to cover the %d non-leaders", st.FlightsJoined, st.CacheHits, n-1)
 	}
 	for i := 1; i < n; i++ {
-		if results[i].Stats != results[0].Stats {
+		if !results[i].Stats.Equal(results[0].Stats) {
 			t.Fatalf("response %d differs: %+v vs %+v", i, results[i], results[0])
 		}
 	}

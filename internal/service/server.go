@@ -10,6 +10,7 @@ import (
 
 	"lossycorr/internal/fft"
 	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 )
 
 // Server is the corrcompd engine: the executor fan-out, the job table,
@@ -134,6 +135,40 @@ type StatsSnapshot struct {
 	// MemReservedBytes sums the predicted transform peaks of admitted
 	// async jobs (0 unless Config.MemBudget is set).
 	MemReservedBytes int64 `json:"memReservedBytes"`
+
+	// Kernels lists the registered statistic kernels — the names the
+	// analyze/measure `stats` option accepts, each with its outputs and
+	// capability flags — in registration order (the default run order).
+	Kernels []KernelInfo `json:"kernels"`
+}
+
+// KernelInfo describes one registered statistic kernel: its selection
+// name, the result keys it produces, and its capability surface.
+type KernelInfo struct {
+	Name      string   `json:"name"`
+	Outputs   []string `json:"outputs"`
+	Lanes     []string `json:"lanes"`
+	Windowed  bool     `json:"windowed"`
+	Streaming bool     `json:"streaming"`
+	FFT       bool     `json:"fft"`
+}
+
+// kernelInfos snapshots the stat registry for GET /v1/stats.
+func kernelInfos() []KernelInfo {
+	ks := stat.Kernels()
+	out := make([]KernelInfo, len(ks))
+	for i, k := range ks {
+		c := k.Caps()
+		out[i] = KernelInfo{
+			Name:      k.Name(),
+			Outputs:   k.Outputs(),
+			Lanes:     c.Lanes,
+			Windowed:  c.Windowed,
+			Streaming: c.Streaming,
+			FFT:       c.FFT,
+		}
+	}
+	return out
 }
 
 // Stats snapshots the counters. It is the machine-readable probe the
@@ -167,6 +202,8 @@ func (s *Server) Stats() StatsSnapshot {
 		PoolPeakBytes:    fft.PeakBytes(),
 		LiveExtraWorkers: parallel.LiveExtraWorkers(),
 		PeakExtraWorkers: parallel.PeakExtraWorkers(),
+
+		Kernels: kernelInfos(),
 	}
 }
 

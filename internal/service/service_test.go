@@ -163,7 +163,7 @@ func TestAnalyzeSyncCacheHit(t *testing.T) {
 	if len(res.Shape) != 2 || res.Shape[0] != 64 || res.Shape[1] != 64 {
 		t.Fatalf("shape = %v", res.Shape)
 	}
-	if res.Stats.GlobalRange <= 0 || res.Stats.LocalRangeStd < 0 {
+	if res.Stats.GlobalRange() <= 0 || res.Stats.LocalRangeStd() < 0 {
 		t.Fatalf("implausible stats: %+v", res.Stats)
 	}
 
@@ -175,7 +175,7 @@ func TestAnalyzeSyncCacheHit(t *testing.T) {
 	if env := decodeEnvelope(t, data, &res2); !env.Cached {
 		t.Fatal("byte-identical resubmission missed the cache")
 	}
-	if res2.Stats != res.Stats {
+	if !res2.Stats.Equal(res.Stats) {
 		t.Fatalf("cached result differs: %+v vs %+v", res2, res)
 	}
 	if st := s.Stats(); st.AnalyzeRuns != 1 || st.CacheHits != 1 {
@@ -240,7 +240,7 @@ func TestJobSubmitPollResult(t *testing.T) {
 		t.Fatalf("result: %d %s", resp.StatusCode, rdata)
 	}
 	decodeEnvelope(t, rdata, &res)
-	if res.Stats.GlobalRange <= 0 {
+	if res.Stats.GlobalRange() <= 0 {
 		t.Fatalf("implausible job result: %+v", res)
 	}
 

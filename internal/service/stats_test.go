@@ -1,0 +1,173 @@
+package service
+
+// Tests for the statistic-selection surface: the analyze `stats`
+// option, absent-key JSON for uncomputed statistics, the cache-key
+// compatibility rule (no selection → the pre-selection canon), and
+// the kernel listing on GET /v1/stats.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lossycorr/internal/core"
+)
+
+// TestAnalyzeStatsSelection requests a kernel subset and checks that
+// exactly the selected statistics come back — deselected ones absent
+// from the JSON object, not zero-valued.
+func TestAnalyzeStatsSelection(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	body := gaussBody(t, 48, 6, 1)
+
+	code, data := postBin(t, hs.URL+"/v1/analyze?stats=variogram,svd", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var env struct {
+		Result struct {
+			Stats map[string]float64 `json:"stats"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("decoding %q: %v", data, err)
+	}
+	st := env.Result.Stats
+	for _, want := range []string{core.StatGlobalRange, core.StatGlobalSill, core.StatLocalSVDStd} {
+		if _, ok := st[want]; !ok {
+			t.Errorf("selected statistic %q missing from %v", want, st)
+		}
+	}
+	if _, ok := st[core.StatLocalRangeStd]; ok {
+		t.Errorf("deselected localRangeStd present in %v", st)
+	}
+
+	// The subset must agree bit-for-bit with the full analysis.
+	code, data = postBin(t, hs.URL+"/v1/analyze", body)
+	if code != http.StatusOK {
+		t.Fatalf("full analyze status %d: %s", code, data)
+	}
+	var full struct {
+		Result struct {
+			Stats map[string]float64 `json:"stats"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range st {
+		if full.Result.Stats[k] != v {
+			t.Errorf("%s: subset %v != full %v", k, v, full.Result.Stats[k])
+		}
+	}
+	if len(full.Result.Stats) != 4 {
+		t.Errorf("full analysis carries %d stats, want 4: %v", len(full.Result.Stats), full.Result.Stats)
+	}
+}
+
+// TestAnalyzeStatsUnknownRejected: unknown kernel names fail at submit
+// time with a 400 naming the registered kernels.
+func TestAnalyzeStatsUnknownRejected(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	code, data := postBin(t, hs.URL+"/v1/analyze?stats=variogram,nope", gaussBody(t, 32, 4, 2))
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, data)
+	}
+	if !strings.Contains(string(data), "nope") || !strings.Contains(string(data), "variogram") {
+		t.Fatalf("error should name the bad kernel and the registered set: %s", data)
+	}
+}
+
+// TestAnalyzeStatsCacheKeys: spelling order and duplicates do not
+// split the cache; the unselected request keeps its pre-selection
+// cache identity (same canon → same key as before the option existed)
+// and a selection addresses a distinct entry.
+func TestAnalyzeStatsCacheKeys(t *testing.T) {
+	s, hs := testServer(t, Config{})
+	body := gaussBody(t, 48, 6, 3)
+
+	for _, sel := range []string{"stats=svd,variogram", "stats=variogram,svd,svd"} {
+		code, data := postBin(t, hs.URL+"/v1/analyze?"+sel, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", sel, code, data)
+		}
+	}
+	if runs := s.Stats().AnalyzeRuns; runs != 1 {
+		t.Fatalf("normalized selections must share one cache entry; analyze ran %d times", runs)
+	}
+	// A different selection — and no selection — are distinct entries.
+	if code, data := postBin(t, hs.URL+"/v1/analyze", body); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	if runs := s.Stats().AnalyzeRuns; runs != 2 {
+		t.Fatalf("unselected analysis must not alias a subset entry; analyze ran %d times", runs)
+	}
+}
+
+// TestStatsEndpointListsKernels: GET /v1/stats advertises the
+// registered kernels with their outputs and capability flags, without
+// disturbing the counter surface older probes grep.
+func TestStatsEndpointListsKernels(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var snap StatsSnapshot
+	if code := getJSON(t, hs.URL+"/v1/stats", &snap); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(snap.Kernels) < 3 {
+		t.Fatalf("want at least the 3 built-in kernels, got %+v", snap.Kernels)
+	}
+	byName := map[string]KernelInfo{}
+	for _, k := range snap.Kernels {
+		byName[k.Name] = k
+	}
+	v, ok := byName["variogram"]
+	if !ok || !v.Streaming || !v.FFT || v.Windowed {
+		t.Fatalf("variogram kernel caps wrong: %+v", v)
+	}
+	if fmt.Sprint(v.Outputs) != fmt.Sprint([]string{"globalRange", "globalSill"}) {
+		t.Fatalf("variogram outputs %v", v.Outputs)
+	}
+	lr, ok := byName["localrange"]
+	if !ok || !lr.Windowed || !lr.Streaming || lr.FFT {
+		t.Fatalf("localrange kernel caps wrong: %+v", lr)
+	}
+	sv, ok := byName["svd"]
+	if !ok || !sv.Windowed || !sv.Streaming {
+		t.Fatalf("svd kernel caps wrong: %+v", sv)
+	}
+	for _, k := range []KernelInfo{v, lr, sv} {
+		if fmt.Sprint(k.Lanes) != fmt.Sprint([]string{"float64", "float32"}) {
+			t.Fatalf("%s lanes %v", k.Name, k.Lanes)
+		}
+	}
+}
+
+// TestAnalyzeSkipLocalAbsent: the historical skiplocal option now
+// yields a result set with the local statistics absent, not zero.
+func TestAnalyzeSkipLocalAbsent(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	code, data := postBin(t, hs.URL+"/v1/analyze?skiplocal=1", gaussBody(t, 48, 6, 4))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var env struct {
+		Result struct {
+			Stats map[string]float64 `json:"stats"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	st := env.Result.Stats
+	if _, ok := st[core.StatGlobalRange]; !ok {
+		t.Fatalf("globalRange missing from %v", st)
+	}
+	if _, ok := st[core.StatLocalRangeStd]; ok {
+		t.Fatalf("skiplocal result carries localRangeStd: %v", st)
+	}
+	if _, ok := st[core.StatLocalSVDStd]; ok {
+		t.Fatalf("skiplocal result carries localSVDStd: %v", st)
+	}
+}

@@ -70,7 +70,7 @@ func TestStreamingAnalyzeUpload(t *testing.T) {
 	if env.Cached {
 		t.Fatal("first streamed submission reported cached")
 	}
-	if res.Stats != want {
+	if !res.Stats.Equal(want) {
 		t.Fatalf("streamed stats %+v != in-RAM %+v", res.Stats, want)
 	}
 	if env.PoolPeakBytes <= 0 || env.PoolPeakBytes > s.Config().StreamBudget {
@@ -88,7 +88,7 @@ func TestStreamingAnalyzeUpload(t *testing.T) {
 	if env := decodeEnvelope(t, data, &res2); !env.Cached {
 		t.Fatal("byte-identical streamed resubmission missed the cache")
 	}
-	if res2.Stats != res.Stats {
+	if !res2.Stats.Equal(res.Stats) {
 		t.Fatalf("cached streamed result differs: %+v vs %+v", res2.Stats, res.Stats)
 	}
 	if n := spoolCount(t); n != spoolsBefore {
@@ -121,7 +121,7 @@ func TestStreamingDatasetOverBodyCap(t *testing.T) {
 		t.Fatalf("streamed dataset analyze: %d %s", code, data)
 	}
 	env := decodeEnvelope(t, data, &res)
-	if res.Stats != want {
+	if !res.Stats.Equal(want) {
 		t.Fatalf("streamed dataset stats %+v != in-RAM %+v", res.Stats, want)
 	}
 	if env.PoolPeakBytes > s.Config().StreamBudget {
@@ -172,7 +172,7 @@ func TestStreamingAnalyzeJob(t *testing.T) {
 	}
 	var res analyzeResult
 	decodeEnvelope(t, body2, &res)
-	if res.Stats != want {
+	if !res.Stats.Equal(want) {
 		t.Fatalf("streamed job stats %+v != in-RAM %+v", res.Stats, want)
 	}
 	if n := spoolCount(t); n != spoolsBefore {

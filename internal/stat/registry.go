@@ -1,0 +1,78 @@
+package stat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The process-global kernel registry. Built-in kernels are registered
+// by package core's init in a fixed order (which fixes the default run
+// and error-precedence order); additional kernels register themselves
+// from their own package init without touching core or the service —
+// the registry is what the selection surfaces (-stats, the corrcompd
+// stats option, GET /v1/stats) are driven by.
+var (
+	regMu     sync.RWMutex
+	regOrder  []Kernel
+	regByName = map[string]Kernel{}
+)
+
+// Register adds a kernel to the registry. The name must be non-empty
+// and unused, and the kernel must implement WindowKernel or
+// GlobalKernel.
+func Register(k Kernel) error {
+	name := k.Name()
+	if name == "" {
+		return fmt.Errorf("stat: kernel with empty name")
+	}
+	if _, isW := k.(WindowKernel); !isW {
+		if _, isG := k.(GlobalKernel); !isG {
+			return fmt.Errorf("stat: kernel %q implements neither WindowKernel nor GlobalKernel", name)
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByName[name]; dup {
+		return fmt.Errorf("stat: kernel %q already registered", name)
+	}
+	regByName[name] = k
+	regOrder = append(regOrder, k)
+	return nil
+}
+
+// MustRegister is Register for init-time registration of kernels whose
+// names cannot collide.
+func MustRegister(k Kernel) {
+	if err := Register(k); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the kernel registered under name.
+func Lookup(name string) (Kernel, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	k, ok := regByName[name]
+	return k, ok
+}
+
+// Kernels returns the registered kernels in registration order — the
+// default run order and error precedence of an unselected analysis.
+func Kernels() []Kernel {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Kernel, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// Names returns the registered kernel names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	for i, k := range regOrder {
+		out[i] = k.Name()
+	}
+	return out
+}

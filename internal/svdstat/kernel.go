@@ -1,0 +1,76 @@
+package svdstat
+
+// The local SVD statistic as a stat.Kernel: a WindowKernel whose sweep
+// (tiling, lane widening, streaming, fan-out) the engine owns, leaving
+// this package with only the per-window level arithmetic (full-SVD or
+// Gram fast path) and the Std fold. Options arrive through the
+// engine's Request.Opt under "svd" as an svdstat.Options value; a nil
+// opt means defaults.
+
+import (
+	"fmt"
+
+	"lossycorr/internal/field"
+	"lossycorr/internal/linalg"
+	"lossycorr/internal/stat"
+)
+
+// LevelKernel is the windowed SVD statistic: the std of per-window
+// truncation levels at the configured variance fraction.
+type LevelKernel struct{}
+
+// Name implements stat.Kernel.
+func (LevelKernel) Name() string { return "svd" }
+
+// Outputs implements stat.Kernel.
+func (LevelKernel) Outputs() []string { return []string{"localSVDStd"} }
+
+// Caps implements stat.Kernel.
+func (LevelKernel) Caps() stat.Caps {
+	return stat.Caps{Lanes: []string{"float64", "float32"}, Windowed: true, Streaming: true}
+}
+
+// ErrLabel preserves the historical "local svd" error prefix.
+func (LevelKernel) ErrLabel() string { return "local svd" }
+
+// CheckWindow implements stat.WindowKernel.
+func (LevelKernel) CheckWindow(h int) error {
+	if h < 2 {
+		return fmt.Errorf("svdstat: window %d too small", h)
+	}
+	return nil
+}
+
+// EvalWindow implements stat.WindowKernel: one window's truncation
+// level through its mode-1 unfolding, skipping windows clipped below
+// 2 in any extent.
+func (LevelKernel) EvalWindow(w *field.Field, opt any) (float64, bool, error) {
+	o, _ := opt.(Options)
+	o = o.withDefaults()
+	if w.MinDim() < 2 {
+		return 0, false, nil
+	}
+	k, err := windowLevel(w, o)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(k), true, nil
+}
+
+// Fold implements stat.WindowKernel: the std over kept window levels.
+func (LevelKernel) Fold(vals []float64, info stat.FoldInfo, opt any) ([]float64, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", info.Window, info.Shape)
+	}
+	return []float64{linalg.Std(vals)}, nil
+}
+
+// foldStd runs the kernel's fold for the thin Std delegates,
+// unwrapping the single output.
+func foldStd(vals []float64, h int, shape []int) (float64, error) {
+	out, err := LevelKernel{}.Fold(vals, stat.FoldInfo{Window: h, Shape: shape}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}

@@ -1,44 +1,25 @@
 package svdstat
 
-// Out-of-core variants of the windowed SVD statistic, routed through
-// stream.Windows: h-aligned tiles against a byte budget, the identical
-// per-window eigensolves, scatter-by-global-index folding. The results
-// are bit-identical to the in-RAM sweep at any worker count, tile
-// budget, and halo — and for float32-backed files to the widened
-// (WindowIntoWide) in-RAM lane, since the TileReader widens exactly on
-// read.
+// Out-of-core variants of the windowed SVD statistic, now thin
+// delegates into the stat engine's Reader lane: h-aligned tiles
+// against a byte budget, the identical per-window eigensolves,
+// scatter-by-global-index folding. The results are bit-identical to
+// the in-RAM sweep at any worker count, tile budget, and halo — and
+// for float32-backed files to the widened (WindowIntoWide) in-RAM
+// lane, since the TileReader widens exactly on read.
 
 import (
 	"context"
-	"fmt"
 
 	"lossycorr/internal/field"
-	"lossycorr/internal/linalg"
-	"lossycorr/internal/stream"
+	"lossycorr/internal/stat"
 )
 
 // LocalLevelsReaderCtx is the out-of-core LocalLevelsFieldCtx: the
 // truncation level of every h-window of the file, streamed one
 // budget-sized tile at a time and folded in global window order.
 func LocalLevelsReaderCtx(ctx context.Context, tr *field.TileReader, h int, opts Options, so field.StreamOptions) ([]float64, error) {
-	if h < 2 {
-		return nil, fmt.Errorf("svdstat: window %d too small", h)
-	}
-	o := opts.withDefaults()
-	return stream.Windows(ctx, tr, h, o.Workers, so, nil,
-		func(block *field.Field, rel []int, hh int) (float64, bool, error) {
-			w := windowPool.Get().(*field.Field)
-			defer windowPool.Put(w)
-			block.WindowInto(w, rel, hh)
-			if w.MinDim() < 2 {
-				return 0, false, nil
-			}
-			k, err := windowLevel(w, o)
-			if err != nil {
-				return 0, false, err
-			}
-			return float64(k), true, nil
-		})
+	return stat.Windows(ctx, stat.Source{Reader: tr, Stream: so}, LevelKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalStdReaderCtx is the out-of-core LocalStdFieldCtx — the paper's
@@ -48,8 +29,5 @@ func LocalStdReaderCtx(ctx context.Context, tr *field.TileReader, h int, opts Op
 	if err != nil {
 		return 0, err
 	}
-	if len(levels) == 0 {
-		return 0, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", h, tr.Shape())
-	}
-	return linalg.Std(levels), nil
+	return foldStd(levels, h, tr.Shape())
 }

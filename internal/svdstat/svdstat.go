@@ -13,17 +13,12 @@ package svdstat
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"lossycorr/internal/field"
 	"lossycorr/internal/grid"
 	"lossycorr/internal/linalg"
-	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 )
-
-// windowPool recycles per-tile window extraction buffers: each worker
-// borrows a *field.Field, refills it with WindowInto, and returns it.
-var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
 
 // DefaultVarianceFraction is the paper's 99 % threshold.
 const DefaultVarianceFraction = 0.99
@@ -225,9 +220,8 @@ func windowLevel(w *field.Field, o Options) (int, error) {
 }
 
 // LocalLevelsField tiles a field of any rank with h-edged hypercube
-// windows and returns the truncation level of every window, fanning
-// window spectra out over the shared worker pool. Each worker extracts
-// its window lazily and levels are collected in tile order, so the
+// windows and returns the truncation level of every window — the stat
+// engine's sweep over LevelKernel, collected in tile order so the
 // result is independent of scheduling. Windows with any extent below 2
 // after clipping are skipped.
 func LocalLevelsField(f *field.Field, h int, opts Options) ([]float64, error) {
@@ -238,24 +232,7 @@ func LocalLevelsField(f *field.Field, h int, opts Options) ([]float64, error) {
 // cancellation: the tile fan-out checks ctx before each window, so a
 // dead context abandons the sweep within one window's eigensolve.
 func LocalLevelsFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) ([]float64, error) {
-	if h < 2 {
-		return nil, fmt.Errorf("svdstat: window %d too small", h)
-	}
-	o := opts.withDefaults()
-	origins := f.TileOrigins(h)
-	return parallel.FilterMapErrCtx(ctx, len(origins), o.Workers, func(i int) (float64, bool, error) {
-		w := windowPool.Get().(*field.Field)
-		defer windowPool.Put(w)
-		f.WindowInto(w, origins[i], h)
-		if w.MinDim() < 2 {
-			return 0, false, nil
-		}
-		k, err := windowLevel(w, o)
-		if err != nil {
-			return 0, false, err
-		}
-		return float64(k), true, nil
-	})
+	return stat.Windows(ctx, stat.Source{F64: f}, LevelKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalLevelsWith tiles the field with h×h windows and returns the
@@ -284,10 +261,7 @@ func LocalStdFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) 
 	if err != nil {
 		return 0, err
 	}
-	if len(levels) == 0 {
-		return 0, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", h, f.Shape)
-	}
-	return linalg.Std(levels), nil
+	return foldStd(levels, h, f.Shape)
 }
 
 // LocalStdWith is the paper's statistic — the standard deviation of

@@ -1,7 +1,7 @@
 package svdstat
 
-// Float32-lane entry points. The eigensolves themselves stay in oracle
-// precision: each window of the float32 field is widened (exactly)
+// Float32-lane entry points, now thin delegates into the stat engine's
+// float32 lane: each window of the float32 field is widened (exactly)
 // into a pooled float64 Field during extraction, so the per-window
 // level arithmetic — and therefore the statistic's tolerance story —
 // is identical to the float64 lane on exactly-corresponding values,
@@ -9,11 +9,9 @@ package svdstat
 
 import (
 	"context"
-	"fmt"
 
 	"lossycorr/internal/field"
-	"lossycorr/internal/linalg"
-	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 )
 
 // LocalLevelsField32 tiles a float32 field with h-edged hypercube
@@ -27,24 +25,7 @@ func LocalLevelsField32(f *field.Field32, h int, opts Options) ([]float64, error
 // LocalLevelsField32Ctx is LocalLevelsField32 with cooperative
 // cancellation of the window sweep.
 func LocalLevelsField32Ctx(ctx context.Context, f *field.Field32, h int, opts Options) ([]float64, error) {
-	if h < 2 {
-		return nil, fmt.Errorf("svdstat: window %d too small", h)
-	}
-	o := opts.withDefaults()
-	origins := f.TileOrigins(h)
-	return parallel.FilterMapErrCtx(ctx, len(origins), o.Workers, func(i int) (float64, bool, error) {
-		w := windowPool.Get().(*field.Field)
-		defer windowPool.Put(w)
-		f.WindowIntoWide(w, origins[i], h)
-		if w.MinDim() < 2 {
-			return 0, false, nil
-		}
-		k, err := windowLevel(w, o)
-		if err != nil {
-			return 0, false, err
-		}
-		return float64(k), true, nil
-	})
+	return stat.Windows(ctx, stat.Source{F32: f}, LevelKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalStdField32 is the paper's statistic for a float32 field of any
@@ -60,8 +41,5 @@ func LocalStdField32Ctx(ctx context.Context, f *field.Field32, h int, opts Optio
 	if err != nil {
 		return 0, err
 	}
-	if len(levels) == 0 {
-		return 0, fmt.Errorf("svdstat: no usable windows (H=%d, shape %v)", h, f.Shape)
-	}
-	return linalg.Std(levels), nil
+	return foldStd(levels, h, f.Shape)
 }

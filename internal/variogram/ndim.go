@@ -22,8 +22,8 @@ import (
 	"sync"
 
 	"lossycorr/internal/field"
-	"lossycorr/internal/linalg"
 	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 	"lossycorr/internal/xrand"
 )
 
@@ -429,15 +429,9 @@ func windowRangeField(w *field.Field, opts Options) (rang float64, ok bool, err 
 // LocalRangesField tiles a field of any rank with h-edged hypercube
 // windows and estimates a variogram range per window (exact scan;
 // windows are small). Windows with any extent below 4 after clipping,
-// or constant windows, are skipped. Tiles are evaluated on the shared
-// worker pool (opts.Workers) and collected in tile order, so the
-// result is independent of scheduling.
-// windowPool recycles the per-tile extraction buffers of the windowed
-// estimators: each worker borrows a *field.Field, fills it in place
-// with WindowInto, and returns it — steady state allocates no window
-// storage.
-var windowPool = sync.Pool{New: func() any { return new(field.Field) }}
-
+// or constant windows, are skipped. The sweep — extraction, fan-out,
+// fold order — is the stat engine's, with LocalRangeKernel supplying
+// the per-window solve; results are independent of scheduling.
 func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
 	return LocalRangesFieldCtx(context.Background(), f, h, opts)
 }
@@ -446,15 +440,7 @@ func LocalRangesField(f *field.Field, h int, opts Options) ([]float64, error) {
 // cancellation: the tile fan-out checks ctx before each window, so a
 // dead context abandons the sweep within one window's scan.
 func LocalRangesFieldCtx(ctx context.Context, f *field.Field, h int, opts Options) ([]float64, error) {
-	if h < 4 {
-		return nil, fmt.Errorf("variogram: window %d too small", h)
-	}
-	origins := f.TileOrigins(h)
-	return parallel.FilterMapErrCtx(ctx, len(origins), opts.Workers, func(i int) (float64, bool, error) {
-		w := windowPool.Get().(*field.Field)
-		defer windowPool.Put(w)
-		return windowRangeField(f.WindowInto(w, origins[i], h), opts)
-	})
+	return stat.Windows(ctx, stat.Source{F64: f}, LocalRangeKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalRangeStdField is the std of per-window variogram ranges for a
@@ -471,8 +457,15 @@ func LocalRangeStdFieldCtx(ctx context.Context, f *field.Field, h int, opts Opti
 	if err != nil {
 		return 0, err
 	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("variogram: no usable windows (H=%d, shape %v)", h, f.Shape)
+	return foldStd(LocalRangeKernel{}, ranges, h, f.Shape, opts)
+}
+
+// foldStd runs a window kernel's fold for the thin Std delegates,
+// unwrapping the single output.
+func foldStd(k stat.WindowKernel, vals []float64, h int, shape []int, opt any) (float64, error) {
+	out, err := k.Fold(vals, stat.FoldInfo{Window: h, Shape: shape}, opt)
+	if err != nil {
+		return 0, err
 	}
-	return linalg.Std(ranges), nil
+	return out[0], nil
 }

@@ -3,20 +3,19 @@ package variogram
 // Float32-lane entry points. The direct estimators reuse the
 // element-generic scan cores (accumulation is float64 either way, and
 // the sampler's draw order is lane-independent); the FFT engine has
-// its own float32 plane pipeline in fftscan32.go. Windowed statistics
-// widen each small window into oracle precision on the fly
-// (WindowIntoWide), so the per-window fits are exactly the float64
-// code path over exactly-widened samples — tolerance equivalence for
-// those comes for free, and no full-size float64 copy of the field is
-// ever made.
+// its own float32 plane pipeline in fftscan32.go. The windowed
+// statistic delegates to the stat engine, whose float32 lane widens
+// each small window into oracle precision on the fly (WindowIntoWide)
+// — the per-window fits are exactly the float64 code path over
+// exactly-widened samples, and no full-size float64 copy of the field
+// is ever made.
 
 import (
 	"context"
 	"fmt"
 
 	"lossycorr/internal/field"
-	"lossycorr/internal/linalg"
-	"lossycorr/internal/parallel"
+	"lossycorr/internal/stat"
 )
 
 func (o *Options) withField32Defaults(f *field.Field32) Options {
@@ -73,10 +72,9 @@ func GlobalRangeField32Ctx(ctx context.Context, f *field.Field32, opts Options) 
 }
 
 // LocalRangesField32 tiles a float32 field with h-edged windows and
-// estimates a variogram range per window. Each window is widened into
-// oracle precision during extraction, so the per-window scan and fit
-// are the float64 code path exactly; tiles are collected in tile
-// order, independent of scheduling.
+// estimates a variogram range per window — the stat engine's float32
+// lane over LocalRangeKernel, bit-identical to the float64 sweep over
+// the exactly-widened field.
 func LocalRangesField32(f *field.Field32, h int, opts Options) ([]float64, error) {
 	return LocalRangesField32Ctx(context.Background(), f, h, opts)
 }
@@ -84,15 +82,7 @@ func LocalRangesField32(f *field.Field32, h int, opts Options) ([]float64, error
 // LocalRangesField32Ctx is LocalRangesField32 with cooperative
 // cancellation: the tile fan-out checks ctx before each window.
 func LocalRangesField32Ctx(ctx context.Context, f *field.Field32, h int, opts Options) ([]float64, error) {
-	if h < 4 {
-		return nil, fmt.Errorf("variogram: window %d too small", h)
-	}
-	origins := f.TileOrigins(h)
-	return parallel.FilterMapErrCtx(ctx, len(origins), opts.Workers, func(i int) (float64, bool, error) {
-		w := windowPool.Get().(*field.Field)
-		defer windowPool.Put(w)
-		return windowRangeField(f.WindowIntoWide(w, origins[i], h), opts)
-	})
+	return stat.Windows(ctx, stat.Source{F32: f}, LocalRangeKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalRangeStdField32 is the std of per-window variogram ranges for a
@@ -109,8 +99,5 @@ func LocalRangeStdField32Ctx(ctx context.Context, f *field.Field32, h int, opts 
 	if err != nil {
 		return 0, err
 	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("variogram: no usable windows (H=%d, shape %v)", h, f.Shape)
-	}
-	return linalg.Std(ranges), nil
+	return foldStd(LocalRangeKernel{}, ranges, h, f.Shape, opts)
 }

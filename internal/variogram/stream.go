@@ -19,8 +19,7 @@ import (
 
 	"lossycorr/internal/fft"
 	"lossycorr/internal/field"
-	"lossycorr/internal/linalg"
-	"lossycorr/internal/stream"
+	"lossycorr/internal/stat"
 )
 
 // withReaderDefaults mirrors withFieldDefaults for an out-of-core
@@ -114,17 +113,10 @@ func sampledScanReader(ctx context.Context, tr *field.TileReader, o Options) (*E
 // LocalRangesReaderCtx is the out-of-core LocalRangesFieldCtx: the same
 // per-window exact solves, streamed one budget-sized tile at a time and
 // folded in global window order — bit-identical to the in-RAM sweep at
-// any worker count, tile budget, and halo.
+// any worker count, tile budget, and halo. The streaming decomposition
+// is the stat engine's Reader lane over the same LocalRangeKernel.
 func LocalRangesReaderCtx(ctx context.Context, tr *field.TileReader, h int, opts Options, so field.StreamOptions) ([]float64, error) {
-	if h < 4 {
-		return nil, fmt.Errorf("variogram: window %d too small", h)
-	}
-	return stream.Windows(ctx, tr, h, opts.Workers, so, nil,
-		func(block *field.Field, rel []int, hh int) (float64, bool, error) {
-			w := windowPool.Get().(*field.Field)
-			defer windowPool.Put(w)
-			return windowRangeField(block.WindowInto(w, rel, hh), opts)
-		})
+	return stat.Windows(ctx, stat.Source{Reader: tr, Stream: so}, LocalRangeKernel{}, h, opts.Workers, nil, opts)
 }
 
 // LocalRangeStdReaderCtx is the out-of-core LocalRangeStdFieldCtx.
@@ -133,8 +125,5 @@ func LocalRangeStdReaderCtx(ctx context.Context, tr *field.TileReader, h int, op
 	if err != nil {
 		return 0, err
 	}
-	if len(ranges) == 0 {
-		return 0, fmt.Errorf("variogram: no usable windows (H=%d, shape %v)", h, tr.Shape())
-	}
-	return linalg.Std(ranges), nil
+	return foldStd(LocalRangeKernel{}, ranges, h, tr.Shape(), opts)
 }

@@ -16,7 +16,7 @@ func TestQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.GlobalRange <= 0 {
+	if stats.GlobalRange() <= 0 {
 		t.Fatalf("stats %+v", stats)
 	}
 	res, err := Measure("sz-like", field, 1e-3)
